@@ -1,0 +1,410 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure (see
+// DESIGN.md's per-experiment index) plus the ablations DESIGN.md calls
+// out and micro-benchmarks of the core machinery. Regenerate everything
+// with:
+//
+//	go test -bench=. -benchmem
+package mcmap_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mcmap"
+	"mcmap/internal/benchmarks"
+	"mcmap/internal/core"
+	"mcmap/internal/dse"
+	"mcmap/internal/experiments"
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+	"mcmap/internal/sim"
+)
+
+func compiledCruise(b *testing.B, strat benchmarks.MappingStrategy) (*platform.System, core.DropSet) {
+	b.Helper()
+	bench := benchmarks.Cruise()
+	sys, dropped, err := bench.CompiledSample(strat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, dropped
+}
+
+// --- E1: Figure 1 -----------------------------------------------------------
+
+// BenchmarkFig1Motivation regenerates the Figure 1 example: analysis with
+// and without dropping plus three simulated traces.
+func BenchmarkFig1Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Motivation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.Works() {
+			b.Fatal("figure-1 narrative broken")
+		}
+	}
+}
+
+// --- E2: Table 2 ------------------------------------------------------------
+
+// BenchmarkTable2Proposed runs Algorithm 1 (the Proposed row) on every
+// sample mapping of Cruise.
+func BenchmarkTable2Proposed(b *testing.B) {
+	type cs struct {
+		sys     *platform.System
+		dropped core.DropSet
+	}
+	var cases []cs
+	for _, strat := range []benchmarks.MappingStrategy{benchmarks.MapLoadBalance, benchmarks.MapClustered, benchmarks.MapSeededRandom} {
+		sys, dropped := compiledCruise(b, strat)
+		cases = append(cases, cs{sys, dropped})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			if _, err := core.Analyze(c.sys, c.dropped, core.NewConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2WCSim runs the Monte-Carlo row at a reduced budget
+// (100 profiles per iteration; the paper uses 10000 — scale linearly).
+func BenchmarkTable2WCSim(b *testing.B) {
+	sys, dropped := compiledCruise(b, benchmarks.MapClustered)
+	est := sim.WCSim{Runs: 100, Seed: 1, Scale: sim.AutoFaultScale(sys) * 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.GraphWCRTs(sys, dropped); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Full regenerates the whole table (all four estimator
+// rows, all three mappings) at a reduced Monte-Carlo budget.
+func BenchmarkTable2Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(experiments.Table2Config{WCSimRuns: 200, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.SafeEverywhere {
+			b.Fatal("safety violated")
+		}
+	}
+}
+
+// --- E3: Section 5.2 power gain ---------------------------------------------
+
+func benchDropGain(b *testing.B, name string) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DropGain(name, dse.Options{PopSize: 24, Generations: 12, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDropGainDTMed compares optimized power with/without dropping
+// on DT-med (reduced GA budget; cmd/experiments runs the full budget).
+func BenchmarkDropGainDTMed(b *testing.B) { benchDropGain(b, "dt-med") }
+
+// BenchmarkDropGainDTLarge does the same for DT-large.
+func BenchmarkDropGainDTLarge(b *testing.B) { benchDropGain(b, "dt-large") }
+
+// BenchmarkDropGainCruise does the same for Cruise.
+func BenchmarkDropGainCruise(b *testing.B) { benchDropGain(b, "cruise") }
+
+// --- E4: Section 5.2 rescue ratio ---------------------------------------------
+
+func benchRescue(b *testing.B, name string) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RescueRatio(name, dse.Options{PopSize: 24, Generations: 12, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDroppingRatioCruise tracks the rescued-by-dropping statistic
+// on Cruise (and the re-execution share).
+func BenchmarkDroppingRatioCruise(b *testing.B) { benchRescue(b, "cruise") }
+
+// BenchmarkDroppingRatioSynth1 is the near-zero-rescue control case.
+func BenchmarkDroppingRatioSynth1(b *testing.B) { benchRescue(b, "synth-1") }
+
+// BenchmarkDroppingRatioDTMed tracks the statistic on DT-med.
+func BenchmarkDroppingRatioDTMed(b *testing.B) { benchRescue(b, "dt-med") }
+
+// --- E5: Figure 5 -------------------------------------------------------------
+
+// BenchmarkParetoDTMed regenerates the power/service Pareto front of
+// Figure 5 at a reduced GA budget.
+func BenchmarkParetoDTMed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Pareto("dt-med", dse.Options{PopSize: 24, Generations: 12, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md section 6) -------------------------------------------
+
+// BenchmarkNaiveVsProposed measures the cost gap between the single-pass
+// Naive bound and the per-scenario Proposed analysis; their accuracy gap
+// is reported in EXPERIMENTS.md.
+func BenchmarkNaiveVsProposed(b *testing.B) {
+	sys, dropped := compiledCruise(b, benchmarks.MapClustered)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (core.Naive{}).GraphWCRTs(sys, dropped); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("proposed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (core.Proposed{Config: core.NewConfig()}).GraphWCRTs(sys, dropped); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFabricModels contrasts the ideal point-to-point fabric with
+// the shared-bus contention model.
+func BenchmarkFabricModels(b *testing.B) {
+	for _, shared := range []bool{false, true} {
+		name := "ideal"
+		if shared {
+			name = "shared-bus"
+		}
+		b.Run(name, func(b *testing.B) {
+			bench := benchmarks.Cruise()
+			bench.Arch.Fabric.Shared = shared
+			sys, dropped, err := bench.CompiledSample(benchmarks.MapLoadBalance)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(sys, dropped, core.NewConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectorAblation compares the paper's SPEA2 selector with a
+// simple elitist truncation.
+func BenchmarkSelectorAblation(b *testing.B) {
+	bench := benchmarks.DTMed()
+	p, err := dse.NewProblem(bench.Arch, bench.Apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sel := range []dse.Selector{dse.SPEA2{}, dse.Elitist{}} {
+		b.Run(sel.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dse.Optimize(p, dse.Options{
+					PopSize: 24, Generations: 10, Seed: 1, Selector: sel,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRepairAblation compares the GA with and without the paper's
+// randomized repair heuristics.
+func BenchmarkRepairAblation(b *testing.B) {
+	bench := benchmarks.DTMed()
+	p, err := dse.NewProblem(bench.Arch, bench.Apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		name := "repair"
+		if disable {
+			name = "penalty-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			feasible := 0
+			for i := 0; i < b.N; i++ {
+				res, err := dse.Optimize(p, dse.Options{
+					PopSize: 24, Generations: 10, Seed: 1, DisableRepair: disable, NoSeeds: disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				feasible = res.Stats.Feasible
+			}
+			b.ReportMetric(float64(feasible), "feasible/run")
+		})
+	}
+}
+
+// BenchmarkAlgorithm1Scaling measures the wrapper's O(|V| * C(sched))
+// cost against growing synthetic task counts.
+func BenchmarkAlgorithm1Scaling(b *testing.B) {
+	for _, tasks := range []int{8, 16, 32, 64} {
+		bench := benchmarks.Synth(benchmarks.SynthConfig{
+			Name: fmt.Sprintf("scale-%d", tasks), Procs: 4,
+			CriticalApps: 2, DroppableApps: 2,
+			MinTasks: tasks / 4, MaxTasks: tasks / 4,
+			Seed: 9,
+		})
+		sys, dropped, err := bench.CompiledSample(benchmarks.MapLoadBalance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("tasks=%d/jobs=%d", tasks, len(sys.Nodes)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(sys, dropped, core.NewConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks -----------------------------------------------------------
+
+// BenchmarkHolisticBackend measures one backend invocation (the sched
+// function of Algorithm 1) on the Cruise system.
+func BenchmarkHolisticBackend(b *testing.B) {
+	sys, _ := compiledCruise(b, benchmarks.MapLoadBalance)
+	h := &sched.Holistic{}
+	exec := sched.NominalExec(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Analyze(sys, exec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorHyperperiod measures one fault-free simulated
+// hyperperiod of Cruise.
+func BenchmarkSimulatorHyperperiod(b *testing.B) {
+	sys, dropped := compiledCruise(b, benchmarks.MapLoadBalance)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sys, sim.Config{Dropped: dropped}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures platform compilation (unrolling, ancestor
+// closure, priority assignment).
+func BenchmarkCompile(b *testing.B) {
+	bench := benchmarks.Cruise()
+	man, err := bench.Hardened()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapping := bench.SampleMapping(man, benchmarks.MapLoadBalance)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Compile(bench.Arch, man.Apps, mapping, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGAGeneration measures one full GA generation (24 candidates,
+// repair + parallel evaluation + SPEA2 selection) on DT-med.
+func BenchmarkGAGeneration(b *testing.B) {
+	bench := benchmarks.DTMed()
+	p, err := mcmap.NewProblem(bench.Arch, bench.Apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Optimize(p, dse.Options{PopSize: 24, Generations: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackendAblation compares the two bundled sched backends under
+// the Algorithm 1 wrapper (the paper's backend-agnosticism claim).
+func BenchmarkBackendAblation(b *testing.B) {
+	sys, dropped := compiledCruise(b, benchmarks.MapClustered)
+	for _, cfg := range []struct {
+		name string
+		an   sched.Analyzer
+	}{
+		{"holistic", &sched.Holistic{}},
+		{"coarse", &sched.Coarse{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(sys, dropped, core.Config{Analyzer: cfg.an, DedupScenarios: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaign measures a 100-profile Monte-Carlo campaign with
+// response-time statistics on Cruise.
+func BenchmarkCampaign(b *testing.B) {
+	sys, dropped := compiledCruise(b, benchmarks.MapClustered)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCampaign(sys, sim.CampaignConfig{Runs: 100, Seed: 1, Dropped: dropped}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivity measures the per-task WCET slack analysis on the
+// Figure 1 system.
+func BenchmarkSensitivity(b *testing.B) {
+	m, err := experiments.Motivation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sensitivity(m.Sys, core.DropSet{"low": true}, core.NewConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyAblation contrasts analysis results under the rate-first
+// default and the criticality-first policy (where dropping is useless).
+func BenchmarkPolicyAblation(b *testing.B) {
+	bench := benchmarks.Cruise()
+	man, err := bench.Hardened()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapping := bench.SampleMapping(man, benchmarks.MapClustered)
+	for _, pol := range []platform.PriorityPolicy{platform.DefaultPolicy{}, platform.CriticalityPolicy{}} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			sys, err := platform.Compile(bench.Arch, man.Apps, mapping, pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(sys, bench.DefaultDropSet(), core.NewConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

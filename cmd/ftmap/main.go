@@ -1,0 +1,109 @@
+// Command ftmap runs the fault-tolerant mapping optimization (the
+// paper's Section 4 DSE) on a bundled benchmark or on a JSON problem
+// spec, and reports the best design and the power/service Pareto front.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mcmap"
+	"mcmap/internal/dse"
+)
+
+func main() {
+	bench := flag.String("bench", "", "bundled benchmark name ("+strings.Join(mcmap.BenchmarkNames(), ", ")+")")
+	spec := flag.String("spec", "", "JSON problem spec (architecture + apps); alternative to -bench")
+	pop := flag.Int("pop", 100, "GA population size")
+	gens := flag.Int("gens", 300, "GA generations")
+	seed := flag.Int64("seed", 1, "GA seed")
+	noDrop := flag.Bool("nodrop", false, "disable task dropping (T_d always empty)")
+	track := flag.Bool("track", false, "track the dropping-rescue ratio (doubles analysis cost)")
+	out := flag.String("o", "", "write the best design's spec (arch+apps+mapping) to this JSON file")
+	csvPrefix := flag.String("csv", "", "write <prefix>-front.csv and <prefix>-history.csv for plotting")
+	flag.Parse()
+
+	var arch *mcmap.Architecture
+	var apps *mcmap.AppSet
+	switch {
+	case *bench != "":
+		b, err := mcmap.BenchmarkByName(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arch, apps = b.Arch, b.Apps
+	case *spec != "":
+		s, err := mcmap.LoadSpec(*spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arch, apps = s.Architecture, s.Apps
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := mcmap.NewProblem(arch, apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mcmap.Optimize(p, mcmap.DSEOptions{
+		PopSize: *pop, Generations: *gens, Seed: *seed,
+		DisableDropping: *noDrop, TrackDroppingGain: *track,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("evaluated %d candidates, %d feasible\n", res.Stats.Evaluated, res.Stats.Feasible)
+	if *track {
+		fmt.Printf("rescued by dropping: %.2f%%; re-execution share: %.2f%%\n",
+			100*res.Stats.RescueRatio(), 100*res.Stats.ReExecutionShare())
+	}
+	if res.Best == nil {
+		fmt.Println("no feasible design found — increase -gens or relax the constraints")
+		os.Exit(1)
+	}
+	fmt.Printf("best design: %.3f W, service %.0f, dropped %v\n",
+		res.Best.Power, res.Best.Service, res.Best.Dropped)
+	fmt.Println("\npower/service Pareto front:")
+	for _, ind := range res.Front {
+		fmt.Printf("  %.3f W  service %.0f  dropped %v\n", ind.Power, ind.Service, ind.Dropped)
+	}
+
+	if *csvPrefix != "" {
+		for _, f := range []struct {
+			suffix string
+			write  func(*os.File) error
+		}{
+			{"-front.csv", func(fh *os.File) error { return dse.WriteFrontCSV(fh, res) }},
+			{"-history.csv", func(fh *os.File) error { return dse.WriteHistoryCSV(fh, res) }},
+		} {
+			fh, err := os.Create(*csvPrefix + f.suffix)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := f.write(fh); err != nil {
+				log.Fatal(err)
+			}
+			fh.Close()
+			fmt.Println("wrote", *csvPrefix+f.suffix)
+		}
+	}
+
+	if *out != "" {
+		ph, err := p.Decode(res.Best.Genome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mcmap.SaveSpec(*out, &mcmap.Spec{
+			Architecture: arch, Apps: ph.Manifest.Apps, Mapping: ph.Mapping,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nbest design written to %s\n", *out)
+	}
+}

@@ -1,0 +1,82 @@
+// Command tgfgen generates synthetic mixed-criticality problem specs
+// (TGFF-style random layered task graphs) as JSON, for use with ftmap
+// and wcrtcheck.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mcmap"
+	"mcmap/internal/benchmarks"
+	"mcmap/internal/model"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "number of processors")
+	critical := flag.Int("critical", 2, "critical (non-droppable) applications")
+	droppable := flag.Int("droppable", 2, "droppable applications")
+	minTasks := flag.Int("min-tasks", 3, "minimum tasks per application")
+	maxTasks := flag.Int("max-tasks", 6, "maximum tasks per application")
+	wcetMin := flag.Int64("wcet-min", 2000, "minimum task WCET in microseconds")
+	wcetMax := flag.Int64("wcet-max", 15000, "maximum task WCET in microseconds")
+	period := flag.Int64("period", 100000, "base period in microseconds")
+	deadline := flag.Int("deadline-frac", 90, "critical deadline as percent of the period")
+	faultRate := flag.Float64("lambda", 1e-8, "per-processor fault rate per microsecond")
+	bound := flag.Float64("ft", 1e-12, "reliability constraint f_t (failures per microsecond)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	bench := flag.String("bench", "", "export a bundled benchmark instead of generating (cruise, dt-med, dt-large, synth-1, synth-2)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *bench != "" {
+		b, err := benchmarks.ByName(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := &mcmap.Spec{Architecture: b.Arch, Apps: b.Apps}
+		if *out == "" {
+			if err := spec.WriteJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if err := mcmap.SaveSpec(*out, spec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %s benchmark (%d processors, %d applications, %d tasks)\n",
+			*out, *bench, len(b.Arch.Procs), len(b.Apps.Graphs), b.Apps.NumTasks())
+		return
+	}
+
+	b := benchmarks.Synth(benchmarks.SynthConfig{
+		Name:             fmt.Sprintf("tgf-%d", *seed),
+		Procs:            *procs,
+		CriticalApps:     *critical,
+		DroppableApps:    *droppable,
+		MinTasks:         *minTasks,
+		MaxTasks:         *maxTasks,
+		Periods:          []model.Time{model.Time(*period), model.Time(2 * *period)},
+		EdgeProb:         0.25,
+		MinWCET:          model.Time(*wcetMin),
+		MaxWCET:          model.Time(*wcetMax),
+		DeadlineFrac:     *deadline,
+		FaultRate:        *faultRate,
+		ReliabilityBound: *bound,
+		Seed:             *seed,
+	})
+	spec := &mcmap.Spec{Architecture: b.Arch, Apps: b.Apps}
+	if *out == "" {
+		if err := spec.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := mcmap.SaveSpec(*out, spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d processors, %d applications, %d tasks\n",
+		*out, len(b.Arch.Procs), len(b.Apps.Graphs), b.Apps.NumTasks())
+}

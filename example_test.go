@@ -1,0 +1,111 @@
+package mcmap_test
+
+import (
+	"fmt"
+
+	"mcmap"
+)
+
+// demoSystem builds the small two-application platform used by the
+// runnable documentation examples.
+func demoSystem() (*mcmap.Architecture, *mcmap.HardeningManifest, mcmap.Mapping) {
+	ms := mcmap.Millisecond
+	arch := &mcmap.Architecture{
+		Name: "demo",
+		Procs: []mcmap.Processor{
+			{ID: 0, Name: "p0", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-8},
+			{ID: 1, Name: "p1", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-8},
+		},
+		Fabric: mcmap.Fabric{Bandwidth: 100, BaseLatency: 10},
+	}
+	ctrl := mcmap.NewTaskGraph("ctrl", 100*ms).SetCritical(1e-10)
+	ctrl.AddTask("in", 2*ms, 5*ms, 1*ms, 1*ms)
+	ctrl.AddTask("out", 3*ms, 8*ms, 1*ms, 1*ms)
+	ctrl.AddChannel("in", "out", 64)
+	soft := mcmap.NewTaskGraph("soft", 50*ms).SetService(3)
+	soft.AddTask("bg", 2*ms, 6*ms, 0, 0)
+	man, err := mcmap.Harden(mcmap.NewAppSet(ctrl, soft), mcmap.HardeningPlan{
+		"ctrl/in":  {Technique: mcmap.ReExecution, K: 2},
+		"ctrl/out": {Technique: mcmap.ReExecution, K: 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return arch, man, mcmap.Mapping{"ctrl/in": 0, "ctrl/out": 0, "soft/bg": 1}
+}
+
+// ExampleAnalyzeWCRT shows the paper's Algorithm 1 on a small system:
+// dropping the soft application tightens the critical WCRT.
+func ExampleAnalyzeWCRT() {
+	arch, man, mapping := demoSystem()
+	sys, err := mcmap.Compile(arch, man.Apps, mapping)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := mcmap.AnalyzeWCRT(sys, mcmap.DropSet{"soft": true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("WCRT(ctrl):", rep.WCRTOf("ctrl"))
+	fmt.Println("feasible:", rep.Feasible())
+	// Output:
+	// WCRT(ctrl): 45ms
+	// feasible: true
+}
+
+// ExampleHarden shows the Eq. (1) re-execution inflation recorded by the
+// hardening transformation.
+func ExampleHarden() {
+	ms := mcmap.Millisecond
+	g := mcmap.NewTaskGraph("app", 100*ms).SetCritical(1e-10)
+	g.AddTask("t", 5*ms, 10*ms, 0, 2*ms) // wcet 10ms, dt 2ms
+	man, err := mcmap.Harden(mcmap.NewAppSet(g), mcmap.HardeningPlan{
+		"app/t": {Technique: mcmap.ReExecution, K: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	task := man.Apps.Graph("app").Task("app/t")
+	fmt.Println("nominal:", task.NominalWCET())
+	fmt.Println("Eq. (1):", task.HardenedWCET())
+	// Output:
+	// nominal: 12ms
+	// Eq. (1): 24ms
+}
+
+// ExampleSimulate runs the discrete-event simulator under a directed
+// fault and reports the run-time protocol's reaction.
+func ExampleSimulate() {
+	arch, man, mapping := demoSystem()
+	sys, err := mcmap.Compile(arch, man.Apps, mapping)
+	if err != nil {
+		panic(err)
+	}
+	res, err := mcmap.Simulate(sys, mcmap.SimConfig{
+		Dropped: mcmap.DropSet{"soft": true},
+		Faults:  mcmap.DirectedFault("ctrl/in", 0, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("critical entries:", res.CriticalEntries)
+	fmt.Println("dropped instances:", res.DroppedInstances)
+	fmt.Println("unsafe:", res.Unsafe)
+	// Output:
+	// critical entries: 1
+	// dropped instances: 1
+	// unsafe: 0
+}
+
+// ExampleAssessReliability evaluates the f_t constraint of a hardened
+// design.
+func ExampleAssessReliability() {
+	arch, man, mapping := demoSystem()
+	rel, err := mcmap.AssessReliability(arch, man, mapping)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("constraints met:", rel.OK())
+	// Output:
+	// constraints met: true
+}

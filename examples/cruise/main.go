@@ -1,0 +1,61 @@
+// Cruise: compare the four WCRT estimators of the paper's Table 2 on the
+// cruise-control benchmark, for one sample mapping, using the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcmap"
+)
+
+func main() {
+	b, err := mcmap.BenchmarkByName("cruise")
+	if err != nil {
+		log.Fatal(err)
+	}
+	man, err := mcmap.Harden(b.Apps, b.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapping := b.SampleMapping(man, 1) // the "clustered" sample mapping
+	sys, err := mcmap.Compile(b.Arch, man.Apps, mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dropped := b.DefaultDropSet()
+
+	fmt.Printf("Cruise benchmark: %d applications, %d tasks (hardened: %d), %d processors\n",
+		len(b.Apps.Graphs), b.Apps.NumTasks(), man.Apps.NumTasks(), len(b.Arch.Procs))
+	fmt.Printf("critical applications: %v; dropped in critical mode: %v\n\n", b.CriticalNames, dropped)
+
+	estimators := []mcmap.Estimator{
+		mcmap.EstimatorAdhoc,
+		mcmap.NewWCSim(2000, 1),
+		mcmap.EstimatorProposed,
+		mcmap.EstimatorNaive,
+	}
+	fmt.Printf("%-10s", "")
+	for _, name := range b.CriticalNames {
+		fmt.Printf("  %14s", name)
+	}
+	fmt.Println()
+	for _, est := range estimators {
+		wcrt, err := est.GraphWCRTs(sys, dropped)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", est.Name())
+		for _, name := range b.CriticalNames {
+			fmt.Printf("  %11.0f ms", wcrt[sys.GraphIndex(name)].Milliseconds())
+		}
+		fmt.Println()
+	}
+
+	rep, err := mcmap.AnalyzeWCRT(sys, dropped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfeasible: %v (normal %v, critical %v); %d scenarios analyzed, %d deduplicated\n",
+		rep.Feasible(), rep.NormalOK, rep.CriticalOK, rep.ScenariosAnalyzed, rep.ScenariosDeduped)
+}

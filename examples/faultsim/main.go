@@ -1,0 +1,102 @@
+// Faultsim: a Monte-Carlo fault-injection study on a producer/consumer
+// application, contrasting the three hardening techniques of the paper:
+// unsafe-execution counts and timing overheads under increasing fault
+// rates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcmap"
+)
+
+func buildSystem(tech mcmap.HardeningTechnique) (*mcmap.System, error) {
+	ms := mcmap.Millisecond
+	arch := &mcmap.Architecture{
+		Name: "tri",
+		Procs: []mcmap.Processor{
+			{ID: 0, Name: "p0", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-7},
+			{ID: 1, Name: "p1", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-7},
+			{ID: 2, Name: "p2", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-7},
+		},
+		Fabric: mcmap.Fabric{Bandwidth: 100, BaseLatency: 20},
+	}
+	g := mcmap.NewTaskGraph("app", 100*ms).SetCritical(1e-9)
+	g.AddTask("produce", 5*ms, 8*ms, 1*ms, 1*ms)
+	g.AddTask("work", 15*ms, 25*ms, 2*ms, 2*ms)
+	g.AddTask("consume", 5*ms, 8*ms, 1*ms, 1*ms)
+	g.AddChannel("produce", "work", 512)
+	g.AddChannel("work", "consume", 512)
+	apps := mcmap.NewAppSet(g)
+
+	plan := mcmap.HardeningPlan{}
+	mapping := mcmap.Mapping{"app/produce": 0, "app/consume": 0}
+	switch tech {
+	case mcmap.HardenNone:
+		mapping["app/work"] = 1
+	case mcmap.ReExecution:
+		plan["app/work"] = mcmap.HardeningDecision{Technique: mcmap.ReExecution, K: 2}
+		mapping["app/work"] = 1
+	case mcmap.ActiveReplica:
+		plan["app/work"] = mcmap.HardeningDecision{Technique: mcmap.ActiveReplica, Replicas: 3}
+		for i := 0; i < 3; i++ {
+			mapping[mcmap.ReplicaID("app/work", i)] = mcmap.ProcID(i)
+		}
+		mapping[mcmap.VoterID("app/work")] = 0
+	case mcmap.PassiveReplica:
+		plan["app/work"] = mcmap.HardeningDecision{Technique: mcmap.PassiveReplica, Replicas: 3}
+		for i := 0; i < 3; i++ {
+			mapping[mcmap.ReplicaID("app/work", i)] = mcmap.ProcID(i)
+		}
+		mapping[mcmap.VoterID("app/work")] = 0
+		mapping[mcmap.DispatchID("app/work")] = 0
+	}
+	man, err := mcmap.Harden(apps, plan)
+	if err != nil {
+		return nil, err
+	}
+	return mcmap.Compile(arch, man.Apps, mapping)
+}
+
+func main() {
+	techniques := []struct {
+		name string
+		tech mcmap.HardeningTechnique
+	}{
+		{"unhardened", mcmap.HardenNone},
+		{"re-execution k=2", mcmap.ReExecution},
+		{"active 3x", mcmap.ActiveReplica},
+		{"passive 2+1", mcmap.PassiveReplica},
+	}
+	const runs = 3000
+	fmt.Printf("%-18s  %-12s  %-10s  %-12s  %-10s\n",
+		"hardening", "fault scale", "unsafe", "worst resp", "crit entries")
+	for _, tc := range techniques {
+		sys, err := buildSystem(tc.tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, scale := range []float64{1, 10} {
+			unsafe, critical := 0, 0
+			worst := mcmap.Time(0)
+			for r := 0; r < runs; r++ {
+				res, err := mcmap.Simulate(sys, mcmap.SimConfig{
+					Faults: mcmap.RandomFaults(int64(r), mcmap.AutoFaultScale(sys)*scale),
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				unsafe += res.Unsafe
+				critical += res.CriticalEntries
+				if res.GraphWCRT[0] > worst {
+					worst = res.GraphWCRT[0]
+				}
+			}
+			fmt.Printf("%-18s  x%-11.0f  %-10d  %-12v  %-10d\n",
+				tc.name, scale, unsafe, worst, critical)
+		}
+	}
+	fmt.Println("\nunsafe     = executions whose fault was not masked (lower is better)")
+	fmt.Println("worst resp = maximum observed response over all runs")
+}

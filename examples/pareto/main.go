@@ -1,0 +1,68 @@
+// Pareto: run the two-objective design-space exploration (expected power
+// vs. retained service) on the DT-med benchmark and print the Pareto
+// front, as in the paper's Figure 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mcmap"
+)
+
+func main() {
+	bench := flag.String("bench", "dt-med", "benchmark name")
+	pop := flag.Int("pop", 48, "GA population size")
+	gens := flag.Int("gens", 60, "GA generations")
+	seed := flag.Int64("seed", 1, "GA seed")
+	flag.Parse()
+
+	b, err := mcmap.BenchmarkByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := mcmap.NewProblem(b.Arch, b.Apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mcmap.Optimize(p, mcmap.DSEOptions{
+		PopSize: *pop, Generations: *gens, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d candidates evaluated, %d feasible\n",
+		*bench, res.Stats.Evaluated, res.Stats.Feasible)
+	if res.Best == nil {
+		fmt.Println("no feasible design found — increase -gens")
+		return
+	}
+	fmt.Printf("most power-efficient design: %.3f W (service %.0f, dropped %v)\n\n",
+		res.Best.Power, res.Best.Service, res.Best.Dropped)
+
+	fmt.Println("power/service Pareto front (cf. paper Figure 5):")
+	fmt.Printf("  %-10s  %-8s  %s\n", "power [W]", "service", "dropped set")
+	for _, ind := range res.Front {
+		set := "{}"
+		if len(ind.Dropped) > 0 {
+			set = fmt.Sprintf("%v", ind.Dropped)
+		}
+		fmt.Printf("  %-10.3f  %-8.0f  %s\n", ind.Power, ind.Service, set)
+	}
+
+	fmt.Println("\nconvergence (best feasible power per generation):")
+	step := len(res.History) / 10
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.History); i += step {
+		h := res.History[i]
+		if h.BestPower < 0 {
+			fmt.Printf("  gen %3d: no feasible design yet\n", h.Gen)
+		} else {
+			fmt.Printf("  gen %3d: %.3f W (%d feasible in archive)\n", h.Gen, h.BestPower, h.Feasible)
+		}
+	}
+}

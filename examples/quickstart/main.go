@@ -1,0 +1,100 @@
+// Quickstart: model a two-application MPSoC, harden the critical
+// application, analyze worst-case response times with and without task
+// dropping, and cross-check with the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcmap"
+)
+
+func main() {
+	ms := mcmap.Millisecond
+
+	// A triple-core platform with a modest interconnect.
+	arch := &mcmap.Architecture{
+		Name: "tri",
+		Procs: []mcmap.Processor{
+			{ID: 0, Name: "core0", StaticPower: 0.2, DynPower: 1.2, FaultRate: 1e-8},
+			{ID: 1, Name: "core1", StaticPower: 0.2, DynPower: 1.2, FaultRate: 1e-8},
+			{ID: 2, Name: "core2", StaticPower: 0.2, DynPower: 1.2, FaultRate: 1e-8},
+		},
+		Fabric: mcmap.Fabric{Bandwidth: 100, BaseLatency: 50},
+	}
+
+	// A critical control loop: sense -> act, 100 ms period, at most
+	// 1e-11 failures per microsecond.
+	ctrl := mcmap.NewTaskGraph("ctrl", 100*ms).SetCritical(1e-11)
+	ctrl.AddTask("sense", 5*ms, 10*ms, 1*ms, 1*ms)
+	ctrl.AddTask("act", 10*ms, 20*ms, 2*ms, 2*ms)
+	ctrl.AddChannel("sense", "act", 256)
+
+	// A droppable media decoder with service value 4.
+	media := mcmap.NewTaskGraph("media", 50*ms).SetService(4)
+	media.AddTask("decode", 8*ms, 15*ms, 0, 0)
+
+	apps := mcmap.NewAppSet(ctrl, media)
+
+	// Harden the control loop: re-execute the sensor once, triplicate the
+	// actuator with majority voting.
+	man, err := mcmap.Harden(apps, mcmap.HardeningPlan{
+		"ctrl/sense": {Technique: mcmap.ReExecution, K: 1},
+		"ctrl/act":   {Technique: mcmap.ActiveReplica, Replicas: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Map everything by hand (replicas must sit on distinct cores).
+	mapping := mcmap.Mapping{
+		"ctrl/sense":                   0,
+		mcmap.ReplicaID("ctrl/act", 0): 0,
+		mcmap.ReplicaID("ctrl/act", 1): 1,
+		mcmap.ReplicaID("ctrl/act", 2): 2,
+		mcmap.VoterID("ctrl/act"):      0,
+		"media/decode":                 1,
+	}
+	sys, err := mcmap.Compile(arch, man.Apps, mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Worst-case analysis (Algorithm 1 of the paper), dropping the media
+	// application in the critical state.
+	for _, dropped := range []mcmap.DropSet{{}, {"media": true}} {
+		rep, err := mcmap.AnalyzeWCRT(sys, dropped)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dropped=%v: WCRT(ctrl)=%v WCRT(media)=%v feasible=%v (scenarios analyzed: %d)\n",
+			dropped, rep.WCRTOf("ctrl"), rep.WCRTOf("media"), rep.Feasible(), rep.ScenariosAnalyzed)
+	}
+
+	// Reliability and power of the design.
+	rel, err := mcmap.AssessReliability(arch, man, mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pw, err := mcmap.ExpectedPower(arch, man, mapping, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reliability ok=%v (ctrl failure rate %.2e /us, bound %.0e)\n",
+		rel.OK(), rel.GraphFailureRate["ctrl"], 1e-11)
+	fmt.Printf("expected power: %.3f W\n", pw.Total)
+
+	// Simulate one hyperperiod under random faults and show the schedule.
+	res, err := mcmap.Simulate(sys, mcmap.SimConfig{
+		Dropped:     mcmap.DropSet{"media": true},
+		Faults:      mcmap.RandomFaults(7, mcmap.AutoFaultScale(sys)*4),
+		RecordTrace: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: ctrl response %v, critical entries %d, dropped instances %d\n",
+		res.MaxResponseOf(sys, "ctrl"), res.CriticalEntries, res.DroppedInstances)
+	fmt.Print(res.Trace.Gantt(2 * ms))
+}

@@ -1,0 +1,85 @@
+// Sensitivity: after optimizing a mapping, ask two designer questions —
+// how much can each task's WCET grow before the design breaks, and what
+// do the response-time distributions look like under fault injection?
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mcmap"
+)
+
+func main() {
+	// Optimize the DT-med benchmark with a small GA budget.
+	b, err := mcmap.BenchmarkByName("dt-med")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := mcmap.NewProblem(b.Arch, b.Apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mcmap.Optimize(p, mcmap.DSEOptions{PopSize: 32, Generations: 30, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Best == nil {
+		log.Fatal("no feasible design found — increase the GA budget")
+	}
+	ph, err := p.Decode(res.Best.Genome)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := mcmap.Compile(b.Arch, ph.Manifest.Apps, ph.Mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized design: %.3f W, dropped %v\n\n", res.Best.Power, res.Best.Dropped)
+
+	// Question 1: WCET slack per task (tightest first).
+	slacks, err := mcmap.Sensitivity(sys, ph.Dropped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(slacks, func(i, j int) bool { return slacks[i].GrowthPct < slacks[j].GrowthPct })
+	fmt.Println("tightest tasks (least WCET headroom):")
+	for i, s := range slacks {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-20s wcet %v can grow %.1f%% (to %v)\n", s.Task, s.WCET, s.GrowthPct, s.MaxWCET)
+	}
+
+	// Question 2: response-time distributions under fault injection.
+	camp, err := mcmap.RunCampaign(sys, mcmap.CampaignConfig{
+		Runs: 500, Seed: 7, Dropped: ph.Dropped, RandomExecTimes: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMonte-Carlo campaign (500 fault profiles):")
+	fmt.Print(camp.Render())
+
+	// Question 3: what binds the slowest critical application?
+	rep, err := mcmap.AnalyzeWCRT(sys, ph.Dropped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worstGraph, worstWCRT := "", mcmap.Time(0)
+	for _, g := range b.Apps.Graphs {
+		if !g.Droppable() && rep.WCRTOf(g.Name) > worstWCRT {
+			worstGraph, worstWCRT = g.Name, rep.WCRTOf(g.Name)
+		}
+	}
+	fmt.Printf("\nslowest critical application: %s (WCRT %v)\n", worstGraph, worstWCRT)
+	for _, task := range b.Apps.Graph(worstGraph).Tasks {
+		for _, bind := range rep.Explain(task.ID) {
+			if bind.Trigger != "" {
+				fmt.Printf("  %-20s WCRT %v bound by a fault in %s (window [%v, %v])\n",
+					bind.Task, bind.WCRT, bind.Trigger, bind.WindowLo, bind.WindowHi)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mcmap
+
+go 1.22

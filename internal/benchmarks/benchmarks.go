@@ -1,0 +1,243 @@
+// Package benchmarks reconstructs the paper's evaluation workloads: the
+// Cruise cruise-control application (Kandasamy et al.) extended with
+// three synthetic applications, the DT-med/DT-large distributed CORBA
+// control benchmarks (Madl et al., scaled x20 as in the paper) and the
+// seeded Synth random task-graph generator. Original traces and exact
+// parameters are not public, so the reconstructions preserve the
+// structural features the experiments depend on (see DESIGN.md,
+// Substitutions).
+package benchmarks
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// Benchmark is one ready-to-run problem instance.
+type Benchmark struct {
+	Name string
+	Arch *model.Architecture
+	Apps *model.AppSet
+	// CriticalNames lists the non-droppable graphs reported in tables
+	// (for Cruise: the two critical applications of Table 2).
+	CriticalNames []string
+	// Plan is the reference hardening plan used for fixed-mapping
+	// analyses (Table 2); the DSE explores its own plans.
+	Plan hardening.Plan
+}
+
+// DefaultDropSet drops every droppable application — the T_d used by the
+// fixed-mapping experiments.
+func (b *Benchmark) DefaultDropSet() core.DropSet {
+	d := core.DropSet{}
+	for _, g := range b.Apps.Graphs {
+		if g.Droppable() {
+			d[g.Name] = true
+		}
+	}
+	return d
+}
+
+// Hardened applies the reference plan and returns the manifest.
+func (b *Benchmark) Hardened() (*hardening.Manifest, error) {
+	return hardening.Apply(b.Apps, b.Plan)
+}
+
+// MappingStrategy names one of the deterministic sample-mapping
+// generators used as "Mapping 1/2/3" in the Table 2 reproduction.
+type MappingStrategy int
+
+const (
+	// MapLoadBalance assigns tasks to the least-loaded processor in
+	// topological order (replicas forced onto distinct processors).
+	MapLoadBalance MappingStrategy = iota
+	// MapClustered packs each application onto as few processors as
+	// possible, spilling to the next when a processor is full.
+	MapClustered
+	// MapSeededRandom scatters tasks pseudo-randomly (seed 7), replicas
+	// kept distinct.
+	MapSeededRandom
+)
+
+// String implements fmt.Stringer.
+func (m MappingStrategy) String() string {
+	switch m {
+	case MapLoadBalance:
+		return "Mapping 1 (load-balanced)"
+	case MapClustered:
+		return "Mapping 2 (clustered)"
+	case MapSeededRandom:
+		return "Mapping 3 (seeded-random)"
+	default:
+		return fmt.Sprintf("MappingStrategy(%d)", int(m))
+	}
+}
+
+// SampleMapping builds the mapping of the hardened application set for
+// one strategy. Replicas of a task are always placed on pairwise distinct
+// processors.
+func (b *Benchmark) SampleMapping(man *hardening.Manifest, strat MappingStrategy) model.Mapping {
+	procs := b.Arch.ProcIDs()
+	mapping := model.Mapping{}
+	load := make(map[model.ProcID]float64, len(procs))
+	rng := rand.New(rand.NewSource(7))
+
+	place := func(t *model.Task, g *model.TaskGraph, avoid map[model.ProcID]bool) model.ProcID {
+		var pid model.ProcID
+		switch strat {
+		case MapLoadBalance:
+			best := -1
+			for _, p := range procs {
+				if avoid[p] {
+					continue
+				}
+				if best < 0 || load[p] < load[model.ProcID(best)] {
+					best = int(p)
+				}
+			}
+			pid = model.ProcID(best)
+		case MapClustered:
+			gi := 0
+			for i, gg := range b.Apps.Graphs {
+				if gg.Name == g.Name {
+					gi = i
+				}
+			}
+			for off := 0; ; off++ {
+				cand := procs[(gi+off)%len(procs)]
+				if !avoid[cand] && load[cand] < 0.6 {
+					pid = cand
+					break
+				}
+				if off >= len(procs) {
+					// Everything loaded: fall back to least-loaded.
+					best := -1
+					for _, p := range procs {
+						if avoid[p] {
+							continue
+						}
+						if best < 0 || load[p] < load[model.ProcID(best)] {
+							best = int(p)
+						}
+					}
+					pid = model.ProcID(best)
+					break
+				}
+			}
+		default: // MapSeededRandom
+			for tries := 0; ; tries++ {
+				pid = procs[rng.Intn(len(procs))]
+				if !avoid[pid] || tries > 4*len(procs) {
+					break
+				}
+			}
+		}
+		load[pid] += float64(t.WCET) / float64(g.Period)
+		return pid
+	}
+
+	for _, g := range man.Apps.Graphs {
+		order, _ := model.TopoOrder(g)
+		// Group replicas so distinct placement can be enforced.
+		used := map[model.TaskID]map[model.ProcID]bool{}
+		for _, t := range order {
+			if t.Kind == model.KindDispatch {
+				continue // colocated with the voter below
+			}
+			avoid := map[model.ProcID]bool{}
+			if t.Kind == model.KindReplica {
+				if used[t.Origin] == nil {
+					used[t.Origin] = map[model.ProcID]bool{}
+				}
+				avoid = used[t.Origin]
+			}
+			pid := place(t, g, avoid)
+			mapping[t.ID] = pid
+			if t.Kind == model.KindReplica {
+				used[t.Origin][pid] = true
+			}
+		}
+		// Dispatch steps execute on their voter's processor.
+		for _, t := range g.Tasks {
+			if t.Kind == model.KindDispatch {
+				mapping[t.ID] = mapping[hardening.VoterID(t.Origin)]
+			}
+		}
+	}
+	return mapping
+}
+
+// CompiledSample hardens the benchmark with its reference plan, builds the
+// sample mapping for the strategy and compiles the system.
+func (b *Benchmark) CompiledSample(strat MappingStrategy) (*platform.System, core.DropSet, error) {
+	man, err := b.Hardened()
+	if err != nil {
+		return nil, nil, err
+	}
+	mapping := b.SampleMapping(man, strat)
+	sys, err := platform.Compile(b.Arch, man.Apps, mapping, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, b.DefaultDropSet(), nil
+}
+
+// mpsoc builds a homogeneous MPSoC with n processors.
+func mpsoc(name string, n int, faultRate float64, shared bool) *model.Architecture {
+	a := &model.Architecture{
+		Name: name,
+		Fabric: model.Fabric{
+			// 100 bytes/us with a 50us setup cost: visible but not
+			// dominating delays for kilobyte-scale messages.
+			Bandwidth:   100,
+			BaseLatency: 50,
+			Shared:      shared,
+		},
+	}
+	for i := 0; i < n; i++ {
+		// Mildly heterogeneous power figures (larger cores leak more):
+		// partial allocations then differ in power, which is what gives
+		// the power/service Pareto front its granularity.
+		a.Procs = append(a.Procs, model.Processor{
+			ID:          model.ProcID(i),
+			Name:        fmt.Sprintf("pe%d", i),
+			Type:        "risc",
+			StaticPower: 0.20 + 0.05*float64(i%4),
+			DynPower:    1.4 + 0.1*float64(i%3),
+			FaultRate:   faultRate,
+		})
+	}
+	return a
+}
+
+// ByName returns a bundled benchmark by its canonical name
+// ("cruise", "dt-med", "dt-large", "synth-1", "synth-2").
+func ByName(name string) (*Benchmark, error) {
+	switch name {
+	case "cruise":
+		return Cruise(), nil
+	case "dt-med":
+		return DTMed(), nil
+	case "dt-large":
+		return DTLarge(), nil
+	case "synth-1":
+		return Synth1(), nil
+	case "synth-2":
+		return Synth2(), nil
+	default:
+		return nil, fmt.Errorf("benchmarks: unknown benchmark %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the bundled benchmarks.
+func Names() []string {
+	out := []string{"cruise", "dt-med", "dt-large", "synth-1", "synth-2"}
+	sort.Strings(out)
+	return out
+}

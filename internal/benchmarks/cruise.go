@@ -1,0 +1,99 @@
+package benchmarks
+
+import (
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+// Cruise reconstructs the cruise-control benchmark of Kandasamy et al.
+// with the paper's extension of three synthetic applications. Two
+// non-droppable control applications — the cruise-control loop itself and
+// an engine monitor — carry reliability constraints; three droppable
+// applications (infotainment, diagnostics, trip logging) provide the
+// mixed-criticality pressure. The deadline of the control loop is close
+// to its fault-extended makespan, which is the property the paper blames
+// for Cruise's extreme 99.98% dropping-rescue ratio.
+func Cruise() *Benchmark {
+	ms := model.Millisecond
+	// Transient-fault rate per microsecond; with ~50ms tasks this yields
+	// per-execution failure probabilities around 5e-4, so the 5e-12
+	// failures/us budget forces one level of hardening but not more.
+	arch := mpsoc("cruise-quad", 4, 1e-8, false)
+
+	// --- Critical application 1: the cruise-control loop ---------------
+	cc := model.NewTaskGraph("cruise-ctrl", 1000*ms).SetCritical(5e-12)
+	cc.Deadline = 710 * ms
+	cc.AddTask("speed-sensor", 15*ms, 30*ms, 3*ms, 5*ms)
+	cc.AddTask("throttle-sensor", 12*ms, 24*ms, 3*ms, 5*ms)
+	cc.AddTask("target-filter", 24*ms, 48*ms, 4*ms, 6*ms)
+	cc.AddTask("pid-control", 45*ms, 90*ms, 6*ms, 8*ms)
+	cc.AddTask("fault-check", 15*ms, 34*ms, 3*ms, 4*ms)
+	cc.AddTask("throttle-actuator", 20*ms, 40*ms, 3*ms, 5*ms)
+	cc.AddChannel("speed-sensor", "target-filter", 512)
+	cc.AddChannel("throttle-sensor", "target-filter", 256)
+	cc.AddChannel("target-filter", "pid-control", 1024)
+	cc.AddChannel("pid-control", "fault-check", 512)
+	cc.AddChannel("fault-check", "throttle-actuator", 256)
+
+	// --- Critical application 2: engine monitor ------------------------
+	em := model.NewTaskGraph("engine-mon", 1000*ms).SetCritical(5e-12)
+	em.Deadline = 760 * ms
+	em.AddTask("rpm-sensor", 12*ms, 28*ms, 3*ms, 4*ms)
+	em.AddTask("temp-sensor", 12*ms, 24*ms, 3*ms, 4*ms)
+	em.AddTask("estimator", 35*ms, 70*ms, 5*ms, 7*ms)
+	em.AddTask("limit-check", 20*ms, 42*ms, 3*ms, 5*ms)
+	em.AddTask("alarm-out", 8*ms, 20*ms, 2*ms, 3*ms)
+	em.AddChannel("rpm-sensor", "estimator", 512)
+	em.AddChannel("temp-sensor", "estimator", 512)
+	em.AddChannel("estimator", "limit-check", 768)
+	em.AddChannel("limit-check", "alarm-out", 128)
+
+	// --- Synthetic droppable applications (the paper adds three) -------
+	info := model.NewTaskGraph("infotainment", 500*ms).SetService(5)
+	info.AddTask("decode", 45*ms, 90*ms, 0, 0)
+	info.AddTask("mix", 24*ms, 50*ms, 0, 0)
+	info.AddTask("render", 32*ms, 64*ms, 0, 0)
+	info.AddChannel("decode", "mix", 2048)
+	info.AddChannel("mix", "render", 2048)
+
+	diag := model.NewTaskGraph("diagnostics", 1000*ms).SetService(3)
+	diag.AddTask("collect", 20*ms, 40*ms, 0, 0)
+	diag.AddTask("analyze", 48*ms, 96*ms, 0, 0)
+	diag.AddTask("report", 12*ms, 28*ms, 0, 0)
+	diag.AddChannel("collect", "analyze", 1024)
+	diag.AddChannel("analyze", "report", 512)
+
+	trip := model.NewTaskGraph("trip-log", 1000*ms).SetService(2)
+	trip.AddTask("sample", 8*ms, 20*ms, 0, 0)
+	trip.AddTask("compress", 36*ms, 72*ms, 0, 0)
+	trip.AddTask("store", 12*ms, 24*ms, 0, 0)
+	trip.AddChannel("sample", "compress", 4096)
+	trip.AddChannel("compress", "store", 1024)
+
+	apps := model.NewAppSet(cc, em, info, diag, trip)
+
+	// Reference hardening (fixed-mapping experiments): predominantly
+	// re-execution, as the paper reports for Cruise (83.23%), with one
+	// active and one passive replication.
+	plan := hardening.Plan{
+		"cruise-ctrl/speed-sensor":      {Technique: hardening.ReExecution, K: 1},
+		"cruise-ctrl/throttle-sensor":   {Technique: hardening.ReExecution, K: 1},
+		"cruise-ctrl/target-filter":     {Technique: hardening.ReExecution, K: 1},
+		"cruise-ctrl/pid-control":       {Technique: hardening.ActiveReplication, Replicas: 3},
+		"cruise-ctrl/fault-check":       {Technique: hardening.ReExecution, K: 1},
+		"cruise-ctrl/throttle-actuator": {Technique: hardening.ReExecution, K: 1},
+		"engine-mon/rpm-sensor":         {Technique: hardening.ReExecution, K: 1},
+		"engine-mon/temp-sensor":        {Technique: hardening.ReExecution, K: 1},
+		"engine-mon/estimator":          {Technique: hardening.PassiveReplication, Replicas: 3},
+		"engine-mon/limit-check":        {Technique: hardening.ReExecution, K: 1},
+		"engine-mon/alarm-out":          {Technique: hardening.ReExecution, K: 1},
+	}
+
+	return &Benchmark{
+		Name:          "cruise",
+		Arch:          arch,
+		Apps:          apps,
+		CriticalNames: []string{"cruise-ctrl", "engine-mon"},
+		Plan:          plan,
+	}
+}

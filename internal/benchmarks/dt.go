@@ -1,0 +1,151 @@
+package benchmarks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+// dtConfig parameterizes the DT-style distributed CORBA control
+// benchmarks (Madl et al., DREAM tool tutorial). The paper multiplies the
+// original invocation periods and execution times by 20; the builders
+// below apply the same scaling to CORBA-typical sub-millisecond task
+// times, giving tasks of a few to a few tens of milliseconds with 100 and
+// 200 millisecond periods.
+type dtConfig struct {
+	name     string
+	procs    int
+	critical int // critical (non-droppable) applications
+	lowCrit  int // droppable applications
+	minTasks int // tasks per application, lower bound
+	maxTasks int
+	// opMin/opMax bound the unscaled CORBA operation time in
+	// microseconds (multiplied by 20 like the periods).
+	opMin, opMax int
+	// deadlineFrac is the critical deadline as a percentage of the
+	// period.
+	deadlineFrac model.Time
+	seed         int64
+}
+
+// DTMed is the "medium distributed non-preemptive real-time CORBA
+// application" benchmark: five applications on six processors.
+func DTMed() *Benchmark {
+	return buildDT(dtConfig{
+		name: "dt-med", procs: 5,
+		critical: 2, lowCrit: 3,
+		minTasks: 3, maxTasks: 5,
+		opMin: 100, opMax: 1100,
+		deadlineFrac: 88,
+		seed:         101,
+	})
+}
+
+// DTLarge is the "large" sibling: eight applications on eight processors.
+func DTLarge() *Benchmark {
+	return buildDT(dtConfig{
+		name: "dt-large", procs: 8,
+		critical: 3, lowCrit: 5,
+		minTasks: 4, maxTasks: 6,
+		opMin: 100, opMax: 500,
+		deadlineFrac: 88,
+		seed:         202,
+	})
+}
+
+func buildDT(cfg dtConfig) *Benchmark {
+	const scale = 20 // the paper's x20 period/exec multiplication
+	ms := model.Millisecond
+	rng := rand.New(rand.NewSource(cfg.seed))
+	arch := mpsoc(cfg.name, cfg.procs, 1e-8, false)
+	// The DT benchmarks model "non-preemptive real-time CORBA"
+	// applications: jobs run to completion once started.
+	for i := range arch.Procs {
+		arch.Procs[i].NonPreemptive = true
+	}
+
+	var graphs []*model.TaskGraph
+	plan := hardening.Plan{}
+	var criticalNames []string
+
+	periods := []model.Time{5 * ms * scale, 10 * ms * scale} // 100ms, 200ms
+
+	mkApp := func(name string, critical bool, period model.Time) *model.TaskGraph {
+		g := model.NewTaskGraph(name, period)
+		if critical {
+			g.SetCritical(1e-12)
+			// Tight deadlines relative to the period are what make
+			// dropping valuable for the DT benchmarks.
+			g.Deadline = period * cfg.deadlineFrac / 100
+		} else {
+			g.SetService(float64(1 + rng.Intn(5)))
+		}
+		n := cfg.minTasks + rng.Intn(cfg.maxTasks-cfg.minTasks+1)
+		// Layered client -> intermediate servants -> sink structure, the
+		// shape of the DREAM dt graphs.
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("op%d", i)
+			// CORBA operation times opMin..opMax us, scaled by 20.
+			w := model.Time(cfg.opMin+rng.Intn(cfg.opMax-cfg.opMin+1)) * scale
+			b := w * model.Time(40+rng.Intn(40)) / 100
+			var ve, dt model.Time
+			if critical {
+				ve = w / 10
+				dt = w / 8
+			}
+			g.AddTask(names[i], b, w, ve, dt)
+		}
+		// Chain backbone plus random forward cross edges.
+		for i := 1; i < n; i++ {
+			g.AddChannel(names[i-1], names[i], int64(128+rng.Intn(1024)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 2; j < n; j++ {
+				if rng.Float64() < 0.15 {
+					g.AddChannel(names[i], names[j], int64(64+rng.Intn(512)))
+				}
+			}
+		}
+		return g
+	}
+
+	for c := 0; c < cfg.critical; c++ {
+		name := fmt.Sprintf("ctrl%d", c)
+		// Control applications run at the slower rate; the droppable
+		// applications below alternate between both rates, so their later
+		// jobs can be certainly dropped after a mode switch — the
+		// structural property that makes task dropping effective.
+		g := mkApp(name, true, periods[1])
+		graphs = append(graphs, g)
+		criticalNames = append(criticalNames, name)
+		// Reference plan: predominantly re-execution (the paper reports
+		// 87.03% for DT-med and 98.66% for DT-large); give the first
+		// critical app one replicated task in DT-med only.
+		for i, t := range g.Tasks {
+			if cfg.name == "dt-med" && c == 0 && i == len(g.Tasks)/2 {
+				plan[t.ID] = hardening.Decision{Technique: hardening.ActiveReplication, Replicas: 3}
+				continue
+			}
+			plan[t.ID] = hardening.Decision{Technique: hardening.ReExecution, K: 1}
+		}
+	}
+	for l := 0; l < cfg.lowCrit; l++ {
+		// Best-effort applications run at the slow rate: they rank below
+		// the control chains, so in the critical state the Eq. (1)
+		// inflation lands on them first — keeping them alive is what
+		// forces extra resources when dropping is disabled. This is the
+		// regime where the paper reports its large DT rescue ratios.
+		graphs = append(graphs, mkApp(fmt.Sprintf("best%d", l), false, periods[1]))
+	}
+
+	return &Benchmark{
+		Name:          cfg.name,
+		Arch:          arch,
+		Apps:          model.NewAppSet(graphs...),
+		CriticalNames: criticalNames,
+		Plan:          plan,
+	}
+}

@@ -1,0 +1,213 @@
+package benchmarks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+// SynthConfig parameterizes the random task-graph generator used for the
+// Synth-1/Synth-2 benchmarks ("two synthetic examples that are randomly
+// generated"). The generator is seeded and fully deterministic.
+type SynthConfig struct {
+	Name string
+	// Procs is the MPSoC size.
+	Procs int
+	// CriticalApps / DroppableApps are the application counts.
+	CriticalApps  int
+	DroppableApps int
+	// TasksPerApp bounds the task count of each application.
+	MinTasks, MaxTasks int
+	// Periods to draw from (hyperperiod = their LCM).
+	Periods []model.Time
+	// EdgeProb is the probability of a forward cross edge.
+	EdgeProb float64
+	// WCETRange in microseconds.
+	MinWCET, MaxWCET model.Time
+	// DeadlineFrac scales the implicit deadline (percent of period);
+	// 0 means 100.
+	DeadlineFrac int
+	// FaultRate per microsecond; ReliabilityBound per microsecond.
+	FaultRate        float64
+	ReliabilityBound float64
+	// SoftLoadDiv divides droppable task execution times (default 2):
+	// larger values make best-effort load lighter and dropping less
+	// necessary.
+	SoftLoadDiv model.Time
+	// CriticalSlowest pins critical applications to the slowest period,
+	// so the fast droppable applications always outrank them and never
+	// suffer critical-mode inflation.
+	CriticalSlowest bool
+	Seed            int64
+}
+
+func (c SynthConfig) softDiv() model.Time {
+	if c.SoftLoadDiv > 0 {
+		return c.SoftLoadDiv
+	}
+	return 2
+}
+
+// Synth1 is the first synthetic benchmark: generous deadlines and a
+// moderate load, where dropping rescues almost nothing (the paper reports
+// 0.02%).
+func Synth1() *Benchmark {
+	return Synth(SynthConfig{
+		Name: "synth-1", Procs: 6,
+		CriticalApps: 2, DroppableApps: 2,
+		MinTasks: 3, MaxTasks: 6,
+		Periods:  []model.Time{100 * model.Millisecond, 200 * model.Millisecond},
+		EdgeProb: 0.2,
+		MinWCET:  2 * model.Millisecond, MaxWCET: 15 * model.Millisecond,
+		DeadlineFrac:     100,
+		FaultRate:        1e-8,
+		ReliabilityBound: 1e-12,
+		SoftLoadDiv:      4,
+		CriticalSlowest:  true,
+		Seed:             11,
+	})
+}
+
+// Synth2 is the second synthetic benchmark: tighter deadlines and more
+// load, where dropping occasionally rescues feasibility (0.685% in the
+// paper).
+func Synth2() *Benchmark {
+	return Synth(SynthConfig{
+		Name: "synth-2", Procs: 6,
+		CriticalApps: 2, DroppableApps: 3,
+		MinTasks: 4, MaxTasks: 7,
+		Periods:  []model.Time{100 * model.Millisecond, 200 * model.Millisecond},
+		EdgeProb: 0.25,
+		MinWCET:  4 * model.Millisecond, MaxWCET: 18 * model.Millisecond,
+		DeadlineFrac:     90,
+		FaultRate:        1e-8,
+		ReliabilityBound: 1e-12,
+		SoftLoadDiv:      5,
+		Seed:             23,
+	})
+}
+
+// Synth generates a random benchmark from the configuration.
+func Synth(cfg SynthConfig) *Benchmark {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 4
+	}
+	if cfg.MinTasks <= 0 {
+		cfg.MinTasks = 3
+	}
+	if cfg.MaxTasks < cfg.MinTasks {
+		cfg.MaxTasks = cfg.MinTasks
+	}
+	if len(cfg.Periods) == 0 {
+		cfg.Periods = []model.Time{100 * model.Millisecond}
+	}
+	if cfg.MinWCET <= 0 {
+		cfg.MinWCET = model.Millisecond
+	}
+	if cfg.MaxWCET < cfg.MinWCET {
+		cfg.MaxWCET = cfg.MinWCET
+	}
+	if cfg.DeadlineFrac <= 0 {
+		cfg.DeadlineFrac = 100
+	}
+	if cfg.FaultRate <= 0 {
+		cfg.FaultRate = 1e-8
+	}
+	if cfg.ReliabilityBound <= 0 {
+		cfg.ReliabilityBound = 1e-12
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arch := mpsoc(cfg.Name, cfg.Procs, cfg.FaultRate, false)
+
+	var graphs []*model.TaskGraph
+	var criticalNames []string
+	plan := hardening.Plan{}
+
+	mk := func(name string, critical bool) {
+		period := cfg.Periods[rng.Intn(len(cfg.Periods))]
+		if critical && cfg.CriticalSlowest {
+			period = cfg.Periods[len(cfg.Periods)-1]
+		}
+		if !critical {
+			// Best-effort applications run at the fastest rate: under
+			// rate-monotonic priorities they outrank the critical chains,
+			// so critical-mode inflation barely touches them and dropping
+			// rarely rescues feasibility — matching the near-zero ratios
+			// the paper reports for the synthetic benchmarks.
+			period = cfg.Periods[0]
+		}
+		g := model.NewTaskGraph(name, period)
+		if critical {
+			g.SetCritical(cfg.ReliabilityBound)
+			g.Deadline = period * model.Time(cfg.DeadlineFrac) / 100
+			criticalNames = append(criticalNames, name)
+		} else {
+			g.SetService(float64(1 + rng.Intn(5)))
+		}
+		n := cfg.MinTasks + rng.Intn(cfg.MaxTasks-cfg.MinTasks+1)
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("t%d", i)
+			span := int64(cfg.MaxWCET - cfg.MinWCET)
+			w := cfg.MinWCET + model.Time(rng.Int63n(span+1))
+			if !critical {
+				// Best-effort tasks are lightweight; they survive the
+				// critical mode almost anywhere, so dropping them rarely
+				// rescues feasibility (the paper reports 0.02% / 0.685%
+				// for the synthetic benchmarks).
+				w = w / cfg.softDiv()
+			}
+			b := w * model.Time(30+rng.Intn(50)) / 100
+			var ve, dt model.Time
+			if critical {
+				ve = w / 12
+				dt = w / 10
+			}
+			g.AddTask(names[i], b, w, ve, dt)
+		}
+		for i := 1; i < n; i++ {
+			// Connect to a random earlier task: guarantees weak
+			// connectivity and acyclicity.
+			g.AddChannel(names[rng.Intn(i)], names[i], int64(64+rng.Intn(2048)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 2; j < n; j++ {
+				if rng.Float64() < cfg.EdgeProb {
+					g.AddChannel(names[i], names[j], int64(64+rng.Intn(1024)))
+				}
+			}
+		}
+		if critical {
+			for _, t := range g.Tasks {
+				// Mostly re-execution with occasional replication,
+				// mirroring the mixed shares of the paper's Synth-1.
+				switch rng.Intn(5) {
+				case 0:
+					plan[t.ID] = hardening.Decision{Technique: hardening.ActiveReplication, Replicas: 3}
+				case 1:
+					plan[t.ID] = hardening.Decision{Technique: hardening.PassiveReplication, Replicas: 3}
+				default:
+					plan[t.ID] = hardening.Decision{Technique: hardening.ReExecution, K: 1}
+				}
+			}
+		}
+		graphs = append(graphs, g)
+	}
+
+	for c := 0; c < cfg.CriticalApps; c++ {
+		mk(fmt.Sprintf("crit%d", c), true)
+	}
+	for d := 0; d < cfg.DroppableApps; d++ {
+		mk(fmt.Sprintf("soft%d", d), false)
+	}
+
+	return &Benchmark{
+		Name:          cfg.Name,
+		Arch:          arch,
+		Apps:          model.NewAppSet(graphs...),
+		CriticalNames: criticalNames,
+		Plan:          plan,
+	}
+}

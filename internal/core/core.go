@@ -1,0 +1,438 @@
+// Package core implements the paper's primary contribution: the
+// worst-case response-time analysis framework of Section 3 (Algorithm 1)
+// for fault-tolerant mixed-criticality MPSoCs with run-time task dropping,
+// together with the Naive comparison estimator of Section 5.1.
+//
+// The analysis wraps a schedulability backend (sched.Analyzer). A first
+// pass bounds every job's fault-free window [minStart, maxFinish]. Then,
+// for every job that can trigger a system state change (re-executable
+// tasks and the dispatch steps of passively replicated tasks), a
+// scenario is built in which
+//
+//   - tasks certainly finished before the fault keep their nominal bounds,
+//   - droppable tasks certainly released after the transition are removed
+//     ([0,0]),
+//   - droppable tasks overlapping the transition may or may not run
+//     ([0, wcet]), and
+//   - non-droppable tasks in the critical state take the Eq. (1)
+//     re-execution inflation.
+//
+// The reported WCRT is the maximum completion time over the fault-free
+// pass and all scenarios.
+package core
+
+import (
+	"fmt"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+)
+
+// DropSet is the dropped application set T_d: the names of droppable
+// graphs that the scheduler detaches when the system enters the critical
+// state.
+type DropSet map[string]bool
+
+// Clone copies the set.
+func (d DropSet) Clone() DropSet {
+	nd := make(DropSet, len(d))
+	for k, v := range d {
+		nd[k] = v
+	}
+	return nd
+}
+
+// Validate checks that every dropped graph exists and is droppable
+// (sv_t != inf, Section 2.3).
+func (d DropSet) Validate(apps *model.AppSet) error {
+	for name := range d {
+		g := apps.Graph(name)
+		if g == nil {
+			return fmt.Errorf("core: dropped graph %q does not exist", name)
+		}
+		if !g.Droppable() {
+			return fmt.Errorf("core: graph %q is non-droppable and cannot be in the drop set", name)
+		}
+	}
+	return nil
+}
+
+// Config tunes the analysis.
+type Config struct {
+	// Analyzer is the sched backend; nil selects sched.Holistic defaults.
+	Analyzer sched.Analyzer
+	// DedupScenarios skips scenarios whose execution-interval vector was
+	// already analyzed (different trigger jobs often induce identical
+	// classifications). It is enabled by default in NewConfig; the zero
+	// Config leaves it off for strict paper fidelity.
+	DedupScenarios bool
+}
+
+func (c Config) analyzer() sched.Analyzer {
+	if c.Analyzer != nil {
+		return c.Analyzer
+	}
+	return &sched.Holistic{}
+}
+
+// NewConfig returns the recommended configuration: holistic backend with
+// scenario deduplication.
+func NewConfig() Config {
+	return Config{Analyzer: &sched.Holistic{}, DedupScenarios: true}
+}
+
+// Scenario identifies one state-transition hypothesis: the trigger job
+// (the compiled system has one node per job inside the hyperperiod) that
+// experiences the first fault.
+type Scenario struct {
+	Trigger platform.NodeID
+	// Window is the absolute fault window [minStart, maxFinish] of the
+	// trigger job within the hyperperiod.
+	WindowLo model.Time
+	WindowHi model.Time
+}
+
+// ScenarioResult couples a scenario with its re-analysis outcome.
+type ScenarioResult struct {
+	Scenario Scenario
+	// Exec is the modified [bcet', wcet'] vector fed to the backend.
+	Exec []sched.ExecBounds
+	// Result is the backend output for the scenario.
+	Result *sched.Result
+}
+
+// Report is the full output of the proposed analysis.
+type Report struct {
+	Sys     *platform.System
+	Dropped DropSet
+	// Normal is the fault-free analysis (lines 2-9 of Algorithm 1).
+	Normal *sched.Result
+	// Scenarios are the per-trigger re-analyses (lines 10-34).
+	Scenarios []ScenarioResult
+	// GraphWCRT is, per graph, the maximum sink completion time over the
+	// normal pass and every scenario (model.Infinity when divergent).
+	GraphWCRT []model.Time
+	// TaskWCRT is the per-node maximum completion time over all passes —
+	// the "maximum completion time of v_in" of Algorithm 1 for every
+	// task at once.
+	TaskWCRT []model.Time
+	// NormalOK reports whether every graph meets its deadline in the
+	// fault-free state.
+	NormalOK bool
+	// CriticalOK reports whether every non-droppable graph meets its
+	// deadline in every scenario.
+	CriticalOK bool
+	// ScenariosAnalyzed and ScenariosDeduped count backend invocations
+	// saved by deduplication.
+	ScenariosAnalyzed int
+	ScenariosDeduped  int
+}
+
+// Feasible reports the combined schedulability verdict: fault-free
+// deadlines for all graphs and critical-state deadlines for all
+// non-droppable graphs.
+func (r *Report) Feasible() bool { return r.NormalOK && r.CriticalOK }
+
+// WCRTOf returns the analyzed WCRT of the named graph.
+func (r *Report) WCRTOf(name string) model.Time {
+	gi := r.Sys.GraphIndex(name)
+	if gi < 0 {
+		return model.Infinity
+	}
+	return r.GraphWCRT[gi]
+}
+
+// Analyze runs Algorithm 1 on a compiled system with the given dropped
+// application set.
+func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error) {
+	if err := dropped.Validate(sys.Apps); err != nil {
+		return nil, err
+	}
+	analyzer := cfg.analyzer()
+
+	rep := &Report{
+		Sys:       sys,
+		Dropped:   dropped.Clone(),
+		GraphWCRT: make([]model.Time, len(sys.Apps.Graphs)),
+		TaskWCRT:  make([]model.Time, len(sys.Nodes)),
+	}
+
+	// ---- Lines 2-9: fault-free pass -------------------------------------
+	normalExec := NormalExec(sys)
+	normal, err := analyzer.Analyze(sys, normalExec)
+	if err != nil {
+		return nil, err
+	}
+	rep.Normal = normal
+	rep.ScenariosAnalyzed++
+	accumulate(rep, normal)
+
+	if diverged(normal) {
+		// The fault-free system already diverges: every WCRT is infinite
+		// and there is no meaningful window information for scenario
+		// classification.
+		for gi := range rep.GraphWCRT {
+			rep.GraphWCRT[gi] = model.Infinity
+		}
+		rep.NormalOK = false
+		rep.CriticalOK = false
+		return rep, nil
+	}
+
+	// ---- Lines 10-34: per-trigger scenarios ------------------------------
+	seen := make(map[string]bool)
+	for _, v := range sys.Nodes {
+		if !isTrigger(v) {
+			continue
+		}
+		sc := Scenario{
+			Trigger:  v.ID,
+			WindowLo: normal.Bounds[v.ID].MinStart,
+			WindowHi: normal.Bounds[v.ID].MaxFinish,
+		}
+		exec := ScenarioExec(sys, dropped, normal, sc)
+		if cfg.DedupScenarios {
+			key := execKey(exec)
+			if seen[key] {
+				rep.ScenariosDeduped++
+				continue
+			}
+			seen[key] = true
+		}
+		res, err := analyzer.Analyze(sys, exec)
+		if err != nil {
+			return nil, err
+		}
+		rep.ScenariosAnalyzed++
+		rep.Scenarios = append(rep.Scenarios, ScenarioResult{Scenario: sc, Exec: exec, Result: res})
+		accumulate(rep, res)
+	}
+
+	rep.NormalOK, rep.CriticalOK = verdicts(sys, rep)
+	return rep, nil
+}
+
+// diverged reports whether any bound saturated to infinity.
+func diverged(res *sched.Result) bool {
+	for _, b := range res.Bounds {
+		if b.MaxFinish.IsInfinite() {
+			return true
+		}
+	}
+	return false
+}
+
+// isTrigger reports whether a node may trigger the critical state
+// (Section 3: "passive replication and re-execution of any task trigger
+// the critical state"): tasks hardened by re-execution, and the dispatch
+// steps of passively replicated tasks — the instant a mismatch among the
+// active results invokes a passive replica.
+func isTrigger(n *platform.Node) bool {
+	return n.Task.ReExecutable() || n.Task.Kind == model.KindDispatch
+}
+
+// NormalExec builds the fault-free execution intervals (lines 2-6):
+// nominal bounds with passive replicas pinned to [0,0].
+func NormalExec(sys *platform.System) []sched.ExecBounds {
+	exec := sched.NominalExec(sys)
+	for i, n := range sys.Nodes {
+		if n.Task.Passive {
+			exec[i] = sched.ExecBounds{}
+		}
+	}
+	return exec
+}
+
+// ScenarioExec builds the modified execution intervals for one scenario —
+// a direct transcription of lines 12-29 of Algorithm 1 at job granularity:
+// the compiled nodes are jobs with absolute windows inside the
+// hyperperiod, so maxFinish_w < minStart_v ("finished before the fault")
+// and minStart_w > maxFinish_v ("released after the transition") compare
+// exactly as in the paper's Figure 3.
+func ScenarioExec(sys *platform.System, dropped DropSet, normal *sched.Result, sc Scenario) []sched.ExecBounds {
+	exec := make([]sched.ExecBounds, len(sys.Nodes))
+	trigger := sys.Nodes[sc.Trigger]
+	// For a dispatch trigger, the fault manifests as the invocation of the
+	// trigger's passive replicas: they actually execute in this scenario.
+	invoked := make(map[platform.NodeID]bool)
+	if trigger.Task.Kind == model.KindDispatch {
+		for _, e := range trigger.Out {
+			if sys.Nodes[e.To].Task.Passive {
+				invoked[e.To] = true
+			}
+		}
+	}
+	for _, w := range sys.Nodes {
+		if w.ID == sc.Trigger {
+			exec[w.ID] = triggerBounds(w)
+			continue
+		}
+		if invoked[w.ID] {
+			exec[w.ID] = sched.ExecBounds{B: w.BCET, W: w.WCET}
+			continue
+		}
+		nb := normal.Bounds[w.ID]
+		switch {
+		case nb.MaxFinish < sc.WindowLo:
+			// Normal state: nominal bounds; passive replicas stay silent
+			// (lines 14-17).
+			if w.Task.Passive {
+				exec[w.ID] = sched.ExecBounds{}
+			} else {
+				exec[w.ID] = sched.ExecBounds{B: w.NominalBCET(), W: w.NominalWCET()}
+			}
+		case dropped[w.Graph.Name]:
+			if nb.MinStart > sc.WindowHi {
+				// Certainly dropped (lines 20-21).
+				exec[w.ID] = sched.ExecBounds{}
+			} else {
+				// Transition: either executed or dropped (line 23).
+				exec[w.ID] = sched.ExecBounds{B: 0, W: w.NominalWCET()}
+			}
+		default:
+			// Critical state, non-dropped task (line 26): Eq. (1)
+			// inflation. Passive replicas of other tasks may be invoked
+			// later in the critical state; [0, wcet] is the safe
+			// over-approximation (see DESIGN.md).
+			if w.Task.Passive {
+				exec[w.ID] = sched.ExecBounds{B: 0, W: w.NominalWCET()}
+			} else {
+				exec[w.ID] = sched.ExecBounds{B: w.NominalBCET(), W: w.HardenedWCET()}
+			}
+		}
+	}
+	return exec
+}
+
+// triggerBounds gives the faulting task its failure-mode interval: full
+// Eq. (1) inflation for re-executable tasks; a dispatch trigger itself
+// stays timeless (its passive replicas take their executed bounds via
+// ScenarioExec).
+func triggerBounds(v *platform.Node) sched.ExecBounds {
+	if v.Task.Kind == model.KindDispatch {
+		return sched.ExecBounds{}
+	}
+	return sched.ExecBounds{B: v.NominalBCET(), W: v.HardenedWCET()}
+}
+
+// accumulate folds a backend result into the per-graph / per-job maxima.
+// A graph's response in one pass is the latest sink finish of any instance
+// measured from that instance's release.
+func accumulate(rep *Report, res *sched.Result) {
+	sys := rep.Sys
+	for i := range sys.Nodes {
+		if res.Bounds[i].MaxFinish > rep.TaskWCRT[i] {
+			rep.TaskWCRT[i] = res.Bounds[i].MaxFinish
+		}
+	}
+	for gi := range sys.GraphNodes {
+		worst := graphResponse(sys, res, gi)
+		if worst > rep.GraphWCRT[gi] {
+			rep.GraphWCRT[gi] = worst
+		}
+	}
+}
+
+// graphResponse is the worst response time of graph gi in one backend
+// result: max over sink jobs of (maxFinish - instance release).
+func graphResponse(sys *platform.System, res *sched.Result, gi int) model.Time {
+	var worst model.Time
+	for _, nid := range sys.GraphNodes[gi] {
+		n := sys.Nodes[nid]
+		if len(n.Out) != 0 {
+			continue
+		}
+		f := res.Bounds[nid].MaxFinish
+		if f.IsInfinite() {
+			return model.Infinity
+		}
+		if r := f - n.Release; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// verdicts computes the normal-state and critical-state schedulability
+// flags (see DESIGN.md feasibility semantics).
+func verdicts(sys *platform.System, rep *Report) (normalOK, criticalOK bool) {
+	normalOK = true
+	for gi, g := range sys.Apps.Graphs {
+		if graphResponse(sys, rep.Normal, gi) > g.EffectiveDeadline() {
+			normalOK = false
+		}
+	}
+	criticalOK = true
+	for gi, g := range sys.Apps.Graphs {
+		if rep.Dropped[g.Name] {
+			// Dropped applications are detached in the critical state;
+			// they owe service only in the normal state.
+			continue
+		}
+		// Non-droppable graphs AND kept droppable graphs must deliver
+		// their service through every fault scenario: the quality of
+		// service sum counts alive applications, so alive means
+		// schedulable (Section 2.3).
+		if rep.GraphWCRT[gi] > g.EffectiveDeadline() {
+			criticalOK = false
+		}
+	}
+	return normalOK, criticalOK
+}
+
+// execKey builds a compact fingerprint of an execution-interval vector for
+// scenario deduplication.
+func execKey(exec []sched.ExecBounds) string {
+	buf := make([]byte, 0, len(exec)*16)
+	for _, e := range exec {
+		buf = appendTime(buf, e.B)
+		buf = appendTime(buf, e.W)
+	}
+	return string(buf)
+}
+
+func appendTime(buf []byte, t model.Time) []byte {
+	u := uint64(t)
+	return append(buf,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// Binding describes which pass determines a task's reported WCRT: the
+// fault-free pass or a specific trigger scenario.
+type Binding struct {
+	// Task is the analyzed job's task ID.
+	Task model.TaskID
+	// WCRT is the task's reported worst completion time.
+	WCRT model.Time
+	// Trigger is the task ID of the fault trigger of the binding
+	// scenario, or "" when the fault-free pass binds.
+	Trigger model.TaskID
+	// Window is the trigger's fault window (zero values for the
+	// fault-free pass).
+	WindowLo, WindowHi model.Time
+}
+
+// Explain returns, for every job of the named original task, which
+// scenario produced its reported WCRT — the designer-facing answer to
+// "what makes this task late?".
+func (r *Report) Explain(task model.TaskID) []Binding {
+	var out []Binding
+	for _, n := range r.Sys.Nodes {
+		if n.Task.ID != task {
+			continue
+		}
+		b := Binding{Task: task, WCRT: r.Normal.Bounds[n.ID].MaxFinish}
+		for _, sc := range r.Scenarios {
+			if f := sc.Result.Bounds[n.ID].MaxFinish; f > b.WCRT {
+				b.WCRT = f
+				b.Trigger = r.Sys.Nodes[sc.Scenario.Trigger].Task.ID
+				b.WindowLo = sc.Scenario.WindowLo
+				b.WindowHi = sc.Scenario.WindowHi
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+)
+
+// Estimator is a WCRT estimation method comparable in Table 2: Proposed
+// (Algorithm 1), Naive (this file), and the trace-based Adhoc and WC-Sim
+// estimators implemented by the simulator package.
+type Estimator interface {
+	// Name is the row label used in reports ("Proposed", "Naive", ...).
+	Name() string
+	// GraphWCRTs returns the estimated per-graph WCRT for the compiled
+	// system under the given dropped application set, indexed like
+	// sys.Apps.Graphs.
+	GraphWCRTs(sys *platform.System, dropped DropSet) ([]model.Time, error)
+}
+
+// Proposed is Algorithm 1 exposed as an Estimator.
+type Proposed struct {
+	Config Config
+}
+
+// Name implements Estimator.
+func (Proposed) Name() string { return "Proposed" }
+
+// GraphWCRTs implements Estimator.
+func (p Proposed) GraphWCRTs(sys *platform.System, dropped DropSet) ([]model.Time, error) {
+	rep, err := Analyze(sys, dropped, p.Config)
+	if err != nil {
+		return nil, err
+	}
+	return rep.GraphWCRT, nil
+}
+
+// Naive is the pessimistic static estimator of Section 5.1: every
+// droppable task is given the execution interval [0, wcet] (it may or may
+// not run at any point), every re-executable task is permanently inflated
+// to Eq. (1) and every passive replica may always be invoked. A single
+// backend run then bounds the WCRT. The bound is safe but ignores the
+// chronology of the mode switch, which is exactly the pessimism the paper
+// quantifies.
+type Naive struct {
+	// Analyzer is the sched backend; nil selects sched.Holistic defaults.
+	Analyzer sched.Analyzer
+}
+
+// Name implements Estimator.
+func (Naive) Name() string { return "Naive" }
+
+// GraphWCRTs implements Estimator.
+func (n Naive) GraphWCRTs(sys *platform.System, dropped DropSet) ([]model.Time, error) {
+	if err := dropped.Validate(sys.Apps); err != nil {
+		return nil, err
+	}
+	analyzer := n.Analyzer
+	if analyzer == nil {
+		analyzer = &sched.Holistic{}
+	}
+	exec := NaiveExec(sys, dropped)
+	res, err := analyzer.Analyze(sys, exec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]model.Time, len(sys.Apps.Graphs))
+	for gi := range sys.GraphNodes {
+		out[gi] = graphResponse(sys, res, gi)
+	}
+	return out, nil
+}
+
+// NaiveExec builds the static worst-everything execution intervals used by
+// the Naive estimator.
+func NaiveExec(sys *platform.System, dropped DropSet) []sched.ExecBounds {
+	exec := make([]sched.ExecBounds, len(sys.Nodes))
+	for _, w := range sys.Nodes {
+		switch {
+		case dropped[w.Graph.Name]:
+			exec[w.ID] = sched.ExecBounds{B: 0, W: w.NominalWCET()}
+		case w.Task.Passive:
+			exec[w.ID] = sched.ExecBounds{B: 0, W: w.NominalWCET()}
+		default:
+			exec[w.ID] = sched.ExecBounds{B: w.NominalBCET(), W: w.HardenedWCET()}
+		}
+	}
+	return exec
+}
+
+var (
+	_ Estimator = Proposed{}
+	_ Estimator = Naive{}
+)

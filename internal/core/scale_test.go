@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"mcmap/internal/benchmarks"
+	"mcmap/internal/core"
+	"mcmap/internal/platform"
+)
+
+// TestLargeSyntheticAnalysisBudget guards the analysis cost at DSE scale:
+// a ~60-task instance must complete Algorithm 1 well within the budget a
+// GA evaluation can afford.
+func TestLargeSyntheticAnalysisBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	b := benchmarks.Synth(benchmarks.SynthConfig{
+		Name: "big", Procs: 8,
+		CriticalApps: 4, DroppableApps: 4,
+		MinTasks: 7, MaxTasks: 8,
+		Seed: 4,
+	})
+	man, err := b.Hardened()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := b.SampleMapping(man, benchmarks.MapLoadBalance)
+	sys, err := platform.Compile(b.Arch, man.Apps, mapping, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("jobs: %d", len(sys.Nodes))
+	start := time.Now()
+	rep, err := core.Analyze(sys, b.DefaultDropSet(), core.NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("analysis: %v (%d scenarios, %d deduped)", elapsed, rep.ScenariosAnalyzed, rep.ScenariosDeduped)
+	if elapsed > 2*time.Second {
+		t.Errorf("analysis took %v — too slow for DSE evaluation", elapsed)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// TaskSlack is the sensitivity record of one original task: how much its
+// worst-case execution time can grow before the design becomes
+// infeasible, holding everything else fixed.
+type TaskSlack struct {
+	Task model.TaskID
+	// WCET is the task's current worst-case execution time.
+	WCET model.Time
+	// MaxWCET is the largest feasible value found by binary search
+	// (equals WCET when the task has no headroom; model.Infinity when
+	// the search never hit infeasibility within the bound).
+	MaxWCET model.Time
+	// GrowthPct is (MaxWCET-WCET)/WCET*100.
+	GrowthPct float64
+}
+
+// Sensitivity computes per-task WCET slack for a feasible design: for
+// every original task it binary-searches the largest WCET (between the
+// current value and the owning graph's deadline) that keeps the whole
+// design feasible under Algorithm 1. It is the "how close to the edge is
+// this task" view a designer wants after mapping optimization.
+//
+// The search recompiles nothing: it rebuilds execution intervals only, so
+// a full report costs O(#tasks * log(deadline) ) analyses.
+func Sensitivity(sys *platform.System, dropped DropSet, cfg Config) ([]TaskSlack, error) {
+	base, err := Analyze(sys, dropped, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !base.Feasible() {
+		return nil, fmt.Errorf("core: sensitivity needs a feasible design")
+	}
+	// Group job nodes by original task name (all instances and replicas
+	// of one task grow together — the physical task got slower).
+	groups := map[model.TaskID][]platform.NodeID{}
+	for _, n := range sys.Nodes {
+		if n.Task.Kind == model.KindVoter || n.Task.Kind == model.KindDispatch {
+			continue
+		}
+		orig := n.Task.Origin
+		if orig == "" {
+			orig = n.Task.ID
+		}
+		groups[orig] = append(groups[orig], n.ID)
+	}
+	var out []TaskSlack
+	for orig, nodes := range groups {
+		cur := sys.Nodes[nodes[0]].WCET
+		if cur <= 0 {
+			continue
+		}
+		// Upper bound: the owning graph's deadline (a WCET beyond the
+		// deadline is trivially infeasible for non-dropped graphs).
+		hi := sys.Nodes[nodes[0]].Deadline
+		if hi <= cur {
+			out = append(out, TaskSlack{Task: orig, WCET: cur, MaxWCET: cur})
+			continue
+		}
+		lo := cur
+		if !feasibleWithWCET(sys, dropped, cfg, nodes, hi) {
+			for hi-lo > model.MaxTime(cur/100, 1) {
+				mid := lo + (hi-lo)/2
+				if feasibleWithWCET(sys, dropped, cfg, nodes, mid) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+		} else {
+			lo = hi
+		}
+		out = append(out, TaskSlack{
+			Task: orig, WCET: cur, MaxWCET: lo,
+			GrowthPct: 100 * float64(lo-cur) / float64(cur),
+		})
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Task < out[j-1].Task; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// feasibleWithWCET re-runs the analysis with the group's WCET replaced.
+// The platform nodes are temporarily mutated and restored — Analyze reads
+// execution times through the node accessors.
+func feasibleWithWCET(sys *platform.System, dropped DropSet, cfg Config, nodes []platform.NodeID, w model.Time) bool {
+	saved := make([]model.Time, len(nodes))
+	savedB := make([]model.Time, len(nodes))
+	for i, nid := range nodes {
+		saved[i] = sys.Nodes[nid].WCET
+		savedB[i] = sys.Nodes[nid].BCET
+		sys.Nodes[nid].WCET = w
+		if sys.Nodes[nid].BCET > w {
+			sys.Nodes[nid].BCET = w
+		}
+	}
+	rep, err := Analyze(sys, dropped, cfg)
+	for i, nid := range nodes {
+		sys.Nodes[nid].WCET = saved[i]
+		sys.Nodes[nid].BCET = savedB[i]
+	}
+	return err == nil && rep.Feasible()
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+func TestSensitivity(t *testing.T) {
+	// Two tasks on one processor: a tight one and a slack one.
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("tight", 40, 40, 0, 0)
+	g.AddTask("slack", 10, 10, 0, 0)
+	g.AddChannel("tight", "slack", 0)
+	g.Deadline = 60
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/tight": 0, "g/slack": 0})
+	slacks, err := Sensitivity(sys, DropSet{}, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slacks) != 2 {
+		t.Fatalf("got %d slack rows", len(slacks))
+	}
+	byName := map[model.TaskID]TaskSlack{}
+	for _, s := range slacks {
+		byName[s.Task] = s
+	}
+	tight := byName["g/tight"]
+	slack := byName["g/slack"]
+	// Combined budget is 60: tight can grow by ~10 (to 50), slack by ~10
+	// (to 20).
+	if tight.MaxWCET < 48 || tight.MaxWCET > 50 {
+		t.Errorf("tight.MaxWCET = %v, want ~50", tight.MaxWCET)
+	}
+	if slack.MaxWCET < 18 || slack.MaxWCET > 20 {
+		t.Errorf("slack.MaxWCET = %v, want ~20", slack.MaxWCET)
+	}
+	if slack.GrowthPct < 50 {
+		t.Errorf("slack growth = %v%%, want >= 80%%", slack.GrowthPct)
+	}
+	// The analysis leaves the system untouched.
+	if sys.Node("g/tight").WCET != 40 || sys.Node("g/slack").WCET != 10 {
+		t.Error("sensitivity mutated the system")
+	}
+}
+
+func TestSensitivityRejectsInfeasible(t *testing.T) {
+	g := model.NewTaskGraph("g", 10).SetCritical(1e-9)
+	g.AddTask("a", 9, 9, 0, 0)
+	g.AddTask("b", 9, 9, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0, "g/b": 0})
+	if _, err := Sensitivity(sys, DropSet{}, NewConfig()); err == nil {
+		t.Error("infeasible design accepted")
+	}
+}
+
+func TestSensitivityGroupsReplicas(t *testing.T) {
+	sys, dropped := figure1ish(t)
+	slacks, err := Sensitivity(sys, dropped, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// figure1ish has crit/A (re-exec), crit/E and lo/G: 3 original tasks.
+	if len(slacks) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(slacks), slacks)
+	}
+	for _, s := range slacks {
+		if s.MaxWCET < s.WCET {
+			t.Errorf("%s: MaxWCET %v below WCET %v", s.Task, s.MaxWCET, s.WCET)
+		}
+	}
+}

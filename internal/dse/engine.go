@@ -1,0 +1,423 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/power"
+	"mcmap/internal/reliability"
+)
+
+// infeasiblePenalty is the base objective value of infeasible candidates;
+// it dominates every physical power figure, so feasible designs always
+// Pareto-dominate infeasible ones, while the overrun term still provides
+// a gradient towards feasibility (the paper's "exceedingly bad fitness").
+const infeasiblePenalty = 1e6
+
+// Individual is one evaluated candidate.
+type Individual struct {
+	Genome *Genome
+	// Objectives is (expected power, -service); both minimized.
+	Objectives Objectives
+	// Fitness is selector-internal (SPEA2: R + D).
+	Fitness float64
+	// Power is the expected power in watts (only meaningful when
+	// Feasible).
+	Power float64
+	// Service is the retained QoS sum.
+	Service float64
+	// Feasible: deadlines hold (normal + critical scenarios per the
+	// paper's semantics) and reliability constraints are met.
+	Feasible bool
+	// FeasibleNoDrop: same design remains feasible when task dropping is
+	// disabled (evaluated only when Options.TrackDroppingGain).
+	FeasibleNoDrop bool
+	// GraphWCRT is the per-graph analyzed WCRT.
+	GraphWCRT []model.Time
+	// Dropped is the decoded drop set (names).
+	Dropped []string
+}
+
+// Options tunes the GA run. The paper uses population = parents =
+// offspring = 100 and 5000 generations; tests and benches use far
+// smaller values.
+type Options struct {
+	PopSize     int
+	ArchiveSize int
+	Generations int
+	Seed        int64
+	// MutationRate is the per-locus mutation probability (default 0.08).
+	MutationRate float64
+	// Workers bounds parallel fitness evaluations (default GOMAXPROCS).
+	Workers int
+	// Selector is the environmental selection strategy (default SPEA2,
+	// as in the paper).
+	Selector Selector
+	// TrackDroppingGain additionally evaluates every candidate with
+	// dropping disabled, to measure the Section 5.2 rescue ratio. It
+	// doubles the analysis cost.
+	TrackDroppingGain bool
+	// DisableDropping forces every droppable application to be kept
+	// (T_d is always empty) — the "without task dropping" baseline.
+	DisableDropping bool
+	// DisableRepair skips the randomized repair (ablation); infeasible
+	// candidates are only penalized.
+	DisableRepair bool
+	// NoSeeds disables the heuristic seed genomes in the initial
+	// population (ablation).
+	NoSeeds bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PopSize <= 0 {
+		o.PopSize = 100
+	}
+	if o.ArchiveSize <= 0 {
+		o.ArchiveSize = o.PopSize
+	}
+	if o.Generations <= 0 {
+		o.Generations = 100
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.08
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Selector == nil {
+		o.Selector = SPEA2{}
+	}
+	return o
+}
+
+// GenStat is one generation's progress record.
+type GenStat struct {
+	Gen         int
+	BestPower   float64
+	Feasible    int
+	ArchiveSize int
+}
+
+// Stats aggregates exploration statistics over every evaluated candidate
+// (the raw material of Section 5.2).
+type Stats struct {
+	Evaluated int
+	Feasible  int
+	// RescuedByDropping counts candidates feasible with their drop set
+	// but infeasible with dropping disabled (needs TrackDroppingGain).
+	RescuedByDropping int
+	// InfeasibleNoDrop counts candidates infeasible with dropping
+	// disabled (needs TrackDroppingGain).
+	InfeasibleNoDrop int
+	// TechniqueCounts tallies hardening techniques over feasible
+	// candidates' applied (non-None) decisions.
+	TechniqueCounts map[hardening.Technique]int
+}
+
+// RescueRatio is the Section 5.2 headline number: the fraction of
+// explored solutions that are infeasible without task dropping but
+// feasible with it.
+func (s Stats) RescueRatio() float64 {
+	if s.Evaluated == 0 {
+		return 0
+	}
+	return float64(s.RescuedByDropping) / float64(s.Evaluated)
+}
+
+// ReExecutionShare is the fraction of applied hardening decisions that
+// are re-executions, over feasible candidates.
+func (s Stats) ReExecutionShare() float64 {
+	total := 0
+	for _, c := range s.TechniqueCounts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TechniqueCounts[hardening.ReExecution]) / float64(total)
+}
+
+// Result is the GA outcome.
+type Result struct {
+	// Best is the feasible individual with minimum power (nil when none
+	// found).
+	Best *Individual
+	// Front is the feasible non-dominated set, sorted by power.
+	Front []*Individual
+	// Stats aggregates all evaluations; History records per-generation
+	// progress.
+	Stats   Stats
+	History []GenStat
+}
+
+// Optimize runs the GA.
+func Optimize(p *Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{Stats: Stats{TechniqueCounts: map[hardening.Technique]int{}}}
+
+	prepare := func(g *Genome) *Genome {
+		if opts.DisableDropping {
+			for i := range g.Keep {
+				g.Keep[i] = true
+			}
+		}
+		if !opts.DisableRepair {
+			p.Repair(g, rng)
+		}
+		return g
+	}
+
+	// Initial population: heuristic seeds plus random genomes.
+	genomes := make([]*Genome, 0, opts.PopSize)
+	if !opts.NoSeeds {
+		for _, g := range p.SeedGenomes() {
+			if len(genomes) < opts.PopSize {
+				genomes = append(genomes, prepare(g))
+			}
+		}
+	}
+	for len(genomes) < opts.PopSize {
+		genomes = append(genomes, prepare(p.RandomGenome(rng)))
+	}
+	pop, err := p.evaluateAll(genomes, opts, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	archive := opts.Selector.Select(pop, opts.ArchiveSize)
+	res.History = append(res.History, snapshot(0, archive))
+
+	for gen := 1; gen <= opts.Generations; gen++ {
+		parents := opts.Selector.Parents(archive, opts.PopSize, rng)
+		offspring := make([]*Genome, 0, opts.PopSize)
+		for i := 0; i < opts.PopSize; i++ {
+			a := parents[rng.Intn(len(parents))]
+			b := parents[rng.Intn(len(parents))]
+			child := p.Crossover(a.Genome, b.Genome, rng)
+			p.Mutate(child, opts.MutationRate, rng)
+			offspring = append(offspring, prepare(child))
+		}
+		evaluated, err := p.evaluateAll(offspring, opts, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		union := append(append([]*Individual(nil), archive...), evaluated...)
+		archive = opts.Selector.Select(union, opts.ArchiveSize)
+		res.History = append(res.History, snapshot(gen, archive))
+	}
+
+	// Harvest.
+	for _, ind := range archive {
+		if !ind.Feasible {
+			continue
+		}
+		if res.Best == nil || ind.Power < res.Best.Power {
+			res.Best = ind
+		}
+	}
+	res.Front = paretoFront(archive)
+	return res, nil
+}
+
+// snapshot records one generation.
+func snapshot(gen int, archive []*Individual) GenStat {
+	gs := GenStat{Gen: gen, BestPower: -1, ArchiveSize: len(archive)}
+	for _, ind := range archive {
+		if !ind.Feasible {
+			continue
+		}
+		gs.Feasible++
+		if gs.BestPower < 0 || ind.Power < gs.BestPower {
+			gs.BestPower = ind.Power
+		}
+	}
+	return gs
+}
+
+// paretoFront extracts the feasible non-dominated individuals, deduped by
+// objectives and sorted by power.
+func paretoFront(archive []*Individual) []*Individual {
+	var feas []*Individual
+	for _, ind := range archive {
+		if ind.Feasible {
+			feas = append(feas, ind)
+		}
+	}
+	var front []*Individual
+	for _, a := range feas {
+		dominated := false
+		for _, b := range feas {
+			if b != a && b.Objectives.Dominates(a.Objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool {
+		if front[i].Power != front[j].Power {
+			return front[i].Power < front[j].Power
+		}
+		return front[i].Service < front[j].Service
+	})
+	// Dedup identical objective points.
+	out := front[:0]
+	for i, ind := range front {
+		if i > 0 && ind.Objectives == front[i-1].Objectives {
+			continue
+		}
+		out = append(out, ind)
+	}
+	return out
+}
+
+// evaluateAll evaluates genomes in parallel and folds statistics.
+func (p *Problem) evaluateAll(genomes []*Genome, opts Options, stats *Stats) ([]*Individual, error) {
+	out := make([]*Individual, len(genomes))
+	errs := make([]error, len(genomes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i := range genomes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = p.Evaluate(genomes[i], opts.TrackDroppingGain)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dse: evaluating candidate %d: %w", i, err)
+		}
+	}
+	for _, ind := range out {
+		stats.Evaluated++
+		if ind.Feasible {
+			stats.Feasible++
+			for i := range ind.Genome.Genes {
+				t := ind.Genome.Genes[i].Technique
+				if t != hardening.None {
+					stats.TechniqueCounts[t]++
+				}
+			}
+		}
+		if opts.TrackDroppingGain {
+			if !ind.FeasibleNoDrop {
+				stats.InfeasibleNoDrop++
+				if ind.Feasible {
+					stats.RescuedByDropping++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Evaluate scores one (already repaired) genome. It is pure and safe for
+// concurrent use.
+func (p *Problem) Evaluate(g *Genome, trackNoDrop bool) (*Individual, error) {
+	ph, err := p.Decode(g)
+	if err != nil {
+		return nil, err
+	}
+	ind := &Individual{Genome: g, Service: ph.Service}
+	for name := range ph.Dropped {
+		ind.Dropped = append(ind.Dropped, name)
+	}
+	sort.Strings(ind.Dropped)
+
+	// Structural validity: every task on an allocated processor and
+	// replicas on pairwise distinct processors. Repaired genomes always
+	// satisfy this; with repair disabled (ablation) violations are
+	// penalized instead of erroring.
+	structuralOK := true
+	seenReplica := map[model.TaskID]map[model.ProcID]bool{}
+	for id, pid := range ph.Mapping {
+		if !ph.Alloc[pid] {
+			structuralOK = false
+			break
+		}
+		orig := ph.Manifest.OriginalOf(id)
+		if orig != id {
+			g := ph.Manifest.Apps.GraphOf(id)
+			if g != nil {
+				if task := g.Task(id); task != nil && task.Kind == model.KindReplica {
+					if seenReplica[orig] == nil {
+						seenReplica[orig] = map[model.ProcID]bool{}
+					}
+					if seenReplica[orig][pid] {
+						structuralOK = false
+						break
+					}
+					seenReplica[orig][pid] = true
+				}
+			}
+		}
+	}
+	if !structuralOK {
+		ind.Power = infeasiblePenalty * 4
+		ind.Objectives = Objectives{ind.Power, infeasiblePenalty}
+		return ind, nil
+	}
+
+	sys, err := p.Compile(ph)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Analyze(sys, ph.Dropped, p.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	ind.GraphWCRT = rep.GraphWCRT
+
+	rel, err := reliability.Assess(p.Arch, ph.Manifest, ph.Mapping)
+	if err != nil {
+		return nil, err
+	}
+
+	ind.Feasible = rep.Feasible() && rel.OK()
+	if trackNoDrop {
+		repND, err := core.Analyze(sys, core.DropSet{}, p.Analysis)
+		if err != nil {
+			return nil, err
+		}
+		ind.FeasibleNoDrop = repND.Feasible() && rel.OK()
+	}
+
+	if ind.Feasible {
+		pw, err := power.Expected(p.Arch, ph.Manifest, ph.Mapping, ph.Alloc)
+		if err != nil {
+			return nil, err
+		}
+		ind.Power = pw.Total
+		ind.Objectives = Objectives{pw.Total, -ph.Service}
+		return ind, nil
+	}
+	// Penalty with an overrun gradient.
+	overrun := 0.0
+	for gi, g := range sys.Apps.Graphs {
+		w := rep.GraphWCRT[gi]
+		d := g.EffectiveDeadline()
+		if w.IsInfinite() {
+			overrun += 10
+		} else if w > d {
+			overrun += float64(w-d) / float64(d)
+		}
+	}
+	if !rel.OK() {
+		overrun += float64(len(rel.Violations))
+	}
+	ind.Power = infeasiblePenalty * (1 + overrun)
+	ind.Objectives = Objectives{ind.Power, infeasiblePenalty}
+	return ind, nil
+}

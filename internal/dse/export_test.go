@@ -1,0 +1,32 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportCSVAndSummary(t *testing.T) {
+	p := tinyProblem(t)
+	res, err := Optimize(p, Options{PopSize: 16, Generations: 8, Seed: 1, TrackDroppingGain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var front, hist strings.Builder
+	if err := WriteFrontCSV(&front, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHistoryCSV(&hist, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(front.String(), "power_w,service,dropped\n") {
+		t.Errorf("front header wrong: %q", front.String())
+	}
+	lines := strings.Count(hist.String(), "\n")
+	if lines != len(res.History)+1 {
+		t.Errorf("history rows = %d, want %d", lines, len(res.History)+1)
+	}
+	s := Summary(res)
+	if !strings.Contains(s, "evaluated") || !strings.Contains(s, "front size") {
+		t.Errorf("summary incomplete: %q", s)
+	}
+}

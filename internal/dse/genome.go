@@ -1,0 +1,251 @@
+// Package dse implements the design-space exploration of Section 4: a
+// genetic algorithm over the three-section chromosome of Figure 4
+// (processor allocation, per-application keep/drop selection, per-task
+// binding + hardening), with the randomized repair heuristics of the
+// paper, SPEA2 environmental selection and parallel fitness evaluation.
+//
+// Objectives follow Section 2.3: minimize the expected power consumption
+// sum_p (stat_p + dyn_p*u_p), and maximize the quality of service after
+// task dropping sum_{t not in T_d} sv_t.
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+// TaskGene is the binding/hardening section entry for one original task
+// (Figure 4): the hardening technique and its degree, the mapping of the
+// task (or of each replica) and the mapping of the voter.
+type TaskGene struct {
+	Technique hardening.Technique
+	// K is the re-execution degree (used when Technique == ReExecution).
+	K int
+	// Replicas is the clone count (used for replication techniques).
+	Replicas int
+	// Map is the processor of the task itself (unreplicated case).
+	Map model.ProcID
+	// ReplicaMap[i] is the processor of replica i (first Replicas entries
+	// are active; the slice is sized MaxReplicas and carried whole
+	// through crossover).
+	ReplicaMap []model.ProcID
+	// VoterMap is the processor of the majority voter.
+	VoterMap model.ProcID
+}
+
+func (g TaskGene) clone() TaskGene {
+	c := g
+	c.ReplicaMap = append([]model.ProcID(nil), g.ReplicaMap...)
+	return c
+}
+
+// Genome is the full chromosome.
+type Genome struct {
+	// Alloc marks allocated (powered-on) processors, indexed like
+	// Arch.Procs.
+	Alloc []bool
+	// Keep marks droppable applications that are NOT dropped in critical
+	// mode, indexed like Problem.DroppableNames.
+	Keep []bool
+	// Genes holds one entry per original task, indexed like
+	// Problem.TaskIDs.
+	Genes []TaskGene
+}
+
+// Clone deep-copies the genome.
+func (g *Genome) Clone() *Genome {
+	ng := &Genome{
+		Alloc: append([]bool(nil), g.Alloc...),
+		Keep:  append([]bool(nil), g.Keep...),
+		Genes: make([]TaskGene, len(g.Genes)),
+	}
+	for i := range g.Genes {
+		ng.Genes[i] = g.Genes[i].clone()
+	}
+	return ng
+}
+
+// Key returns a compact fingerprint used for duplicate suppression.
+func (g *Genome) Key() string {
+	buf := make([]byte, 0, len(g.Alloc)+len(g.Keep)+len(g.Genes)*8)
+	for _, b := range g.Alloc {
+		buf = append(buf, boolByte(b))
+	}
+	for _, b := range g.Keep {
+		buf = append(buf, boolByte(b))
+	}
+	for i := range g.Genes {
+		ge := &g.Genes[i]
+		buf = append(buf, byte(ge.Technique), byte(ge.K), byte(ge.Replicas),
+			byte(ge.Map), byte(ge.VoterMap))
+		for _, p := range ge.ReplicaMap {
+			buf = append(buf, byte(p))
+		}
+	}
+	return string(buf)
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RandomGenome samples a fresh chromosome.
+func (p *Problem) RandomGenome(rng *rand.Rand) *Genome {
+	g := &Genome{
+		Alloc: make([]bool, len(p.Arch.Procs)),
+		Keep:  make([]bool, len(p.droppable)),
+		Genes: make([]TaskGene, len(p.taskIDs)),
+	}
+	for i := range g.Alloc {
+		g.Alloc[i] = rng.Float64() < 0.7
+	}
+	for i := range g.Keep {
+		g.Keep[i] = rng.Float64() < 0.5
+	}
+	for i := range g.Genes {
+		g.Genes[i] = p.randomGene(rng)
+	}
+	return g
+}
+
+func (p *Problem) randomGene(rng *rand.Rand) TaskGene {
+	ge := TaskGene{
+		Map:        p.randomProc(rng),
+		VoterMap:   p.randomProc(rng),
+		ReplicaMap: make([]model.ProcID, p.MaxReplicas),
+	}
+	for i := range ge.ReplicaMap {
+		ge.ReplicaMap[i] = p.randomProc(rng)
+	}
+	switch r := rng.Float64(); {
+	case r < 0.55:
+		ge.Technique = hardening.None
+	case r < 0.80:
+		ge.Technique = hardening.ReExecution
+		ge.K = 1 + rng.Intn(p.MaxK)
+	case r < 0.90:
+		ge.Technique = hardening.ActiveReplication
+		ge.Replicas = 2 + rng.Intn(p.MaxReplicas-1)
+	default:
+		ge.Technique = hardening.PassiveReplication
+		ge.Replicas = hardening.ActiveBase + 1 + rng.Intn(p.MaxReplicas-hardening.ActiveBase)
+	}
+	return ge
+}
+
+func (p *Problem) randomProc(rng *rand.Rand) model.ProcID {
+	return p.Arch.Procs[rng.Intn(len(p.Arch.Procs))].ID
+}
+
+// SeedGenomes returns heuristic starting points injected into the initial
+// population: all processors allocated, every task re-executed once,
+// applications clustered round-robin over the processors, with the
+// keep/drop section varied (drop all, keep all, keep half). They speed up
+// convergence on tightly constrained instances without biasing the
+// objectives (the GA is free to discard them).
+func (p *Problem) SeedGenomes() []*Genome {
+	if len(p.taskIDs) == 0 {
+		return nil
+	}
+	graphOf := make(map[model.TaskID]int, len(p.taskIDs))
+	for gi, g := range p.Apps.Graphs {
+		for _, t := range g.Tasks {
+			graphOf[t.ID] = gi
+		}
+	}
+	base := &Genome{
+		Alloc: make([]bool, len(p.Arch.Procs)),
+		Keep:  make([]bool, len(p.droppable)),
+		Genes: make([]TaskGene, len(p.taskIDs)),
+	}
+	for i := range base.Alloc {
+		base.Alloc[i] = true
+	}
+	for i, id := range p.taskIDs {
+		gi := graphOf[id]
+		proc := p.Arch.Procs[gi%len(p.Arch.Procs)].ID
+		ge := TaskGene{
+			Map:        proc,
+			VoterMap:   proc,
+			ReplicaMap: make([]model.ProcID, p.MaxReplicas),
+		}
+		for r := range ge.ReplicaMap {
+			ge.ReplicaMap[r] = p.Arch.Procs[(gi+r)%len(p.Arch.Procs)].ID
+		}
+		// Critical tasks get one re-execution; droppable tasks stay
+		// unhardened.
+		if !p.Apps.Graphs[gi].Droppable() {
+			ge.Technique = hardening.ReExecution
+			ge.K = 1
+		}
+		base.Genes[i] = ge
+	}
+	dropAll := base.Clone()
+	keepAll := base.Clone()
+	for i := range keepAll.Keep {
+		keepAll.Keep[i] = true
+	}
+	keepHalf := base.Clone()
+	for i := range keepHalf.Keep {
+		keepHalf.Keep[i] = i%2 == 0
+	}
+	return []*Genome{dropAll, keepAll, keepHalf}
+}
+
+// validateGene normalizes out-of-range parameters (defensive against
+// mutations).
+func (p *Problem) validateGene(ge *TaskGene) {
+	switch ge.Technique {
+	case hardening.ReExecution:
+		if ge.K < 1 {
+			ge.K = 1
+		}
+		if ge.K > p.MaxK {
+			ge.K = p.MaxK
+		}
+		ge.Replicas = 0
+	case hardening.ActiveReplication:
+		if ge.Replicas < 2 {
+			ge.Replicas = 2
+		}
+		if ge.Replicas > p.MaxReplicas {
+			ge.Replicas = p.MaxReplicas
+		}
+		ge.K = 0
+	case hardening.PassiveReplication:
+		if ge.Replicas < hardening.ActiveBase+1 {
+			ge.Replicas = hardening.ActiveBase + 1
+		}
+		if ge.Replicas > p.MaxReplicas {
+			ge.Replicas = p.MaxReplicas
+		}
+		ge.K = 0
+	default:
+		ge.Technique = hardening.None
+		ge.K = 0
+		ge.Replicas = 0
+	}
+}
+
+// String renders a short human-readable genome summary.
+func (g *Genome) String() string {
+	alloc := 0
+	for _, b := range g.Alloc {
+		if b {
+			alloc++
+		}
+	}
+	kept := 0
+	for _, b := range g.Keep {
+		if b {
+			kept++
+		}
+	}
+	return fmt.Sprintf("genome{alloc:%d/%d kept:%d/%d tasks:%d}", alloc, len(g.Alloc), kept, len(g.Keep), len(g.Genes))
+}

@@ -1,0 +1,51 @@
+package dse
+
+import "sort"
+
+// Hypervolume computes the 2-objective hypervolume indicator of a set of
+// individuals with respect to a reference point (both objectives
+// minimized; the reference must be dominated by every point that should
+// contribute). It is the standard scalar quality measure for Pareto
+// fronts and is used by the selector ablation: a larger dominated volume
+// means a better front.
+func Hypervolume(points []*Individual, ref Objectives) float64 {
+	// Collect the non-dominated points strictly better than the
+	// reference in both objectives.
+	var front []Objectives
+	for _, ind := range points {
+		o := ind.Objectives
+		if o[0] >= ref[0] || o[1] >= ref[1] {
+			continue
+		}
+		front = append(front, o)
+	}
+	if len(front) == 0 {
+		return 0
+	}
+	// Sort by the first objective ascending; sweep accumulating
+	// rectangles against the best second objective seen so far.
+	sort.Slice(front, func(i, j int) bool {
+		if front[i][0] != front[j][0] {
+			return front[i][0] < front[j][0]
+		}
+		return front[i][1] < front[j][1]
+	})
+	volume := 0.0
+	bestY := ref[1]
+	for _, p := range front {
+		if p[1] >= bestY {
+			continue // dominated by an earlier point
+		}
+		volume += (ref[0] - p[0]) * (bestY - p[1])
+		bestY = p[1]
+	}
+	return volume
+}
+
+// FrontHypervolume scores a Result's feasible front against a reference
+// point derived from the problem: power reference = the worst feasible
+// front power plus one allocated-platform worth of watts, service
+// reference = -0 (no service retained).
+func FrontHypervolume(res *Result, refPower float64) float64 {
+	return Hypervolume(res.Front, Objectives{refPower, 0})
+}

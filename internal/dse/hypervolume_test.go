@@ -1,0 +1,87 @@
+package dse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func hvInd(p, s float64) *Individual {
+	return &Individual{Objectives: Objectives{p, -s}, Feasible: true}
+}
+
+func TestHypervolumeSinglePoint(t *testing.T) {
+	// Point (2, -4) against reference (10, 0): rectangle 8 x 4 = 32.
+	got := Hypervolume([]*Individual{hvInd(2, 4)}, Objectives{10, 0})
+	if math.Abs(got-32) > 1e-12 {
+		t.Errorf("hv = %v, want 32", got)
+	}
+}
+
+func TestHypervolumeFront(t *testing.T) {
+	// Two trade-off points: (2,-4) and (5,-8) vs ref (10,0):
+	// sweep: (2,-4): (10-2)*(0-(-4)) = 32; (5,-8): (10-5)*((-4)-(-8)) = 20.
+	got := Hypervolume([]*Individual{hvInd(2, 4), hvInd(5, 8)}, Objectives{10, 0})
+	if math.Abs(got-52) > 1e-12 {
+		t.Errorf("hv = %v, want 52", got)
+	}
+}
+
+func TestHypervolumeIgnoresDominatedAndOutside(t *testing.T) {
+	front := []*Individual{hvInd(2, 4), hvInd(5, 8)}
+	withJunk := append([]*Individual{},
+		front[0], front[1],
+		hvInd(3, 2),  // dominated by (2,4)
+		hvInd(11, 9), // outside the reference box
+		hvInd(4, 0),  // zero service: contributes nothing (-0 >= ref 0)
+	)
+	a := Hypervolume(front, Objectives{10, 0})
+	b := Hypervolume(withJunk, Objectives{10, 0})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("junk changed hv: %v vs %v", a, b)
+	}
+}
+
+func TestHypervolumeEmpty(t *testing.T) {
+	if Hypervolume(nil, Objectives{1, 1}) != 0 {
+		t.Error("empty set must have zero volume")
+	}
+}
+
+// TestHypervolumeMonotone: adding a point never decreases the volume.
+func TestHypervolumeMonotone(t *testing.T) {
+	f := func(ps [6]uint8) bool {
+		mk := func(i int) *Individual {
+			return hvInd(float64(ps[i])/32+0.1, float64(ps[i+1])/32+0.1)
+		}
+		set := []*Individual{mk(0), mk(2)}
+		bigger := append(append([]*Individual{}, set...), mk(4))
+		ref := Objectives{16, 0}
+		return Hypervolume(bigger, ref) >= Hypervolume(set, ref)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectorHypervolume compares SPEA2 vs elitist fronts on the tiny
+// problem: SPEA2, which preserves diversity, must not produce a smaller
+// dominated volume.
+func TestSelectorHypervolume(t *testing.T) {
+	p := tinyProblem(t)
+	run := func(sel Selector) float64 {
+		res, err := Optimize(p, Options{PopSize: 20, Generations: 12, Seed: 5, Selector: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FrontHypervolume(res, 100)
+	}
+	spea := run(SPEA2{})
+	elite := run(Elitist{})
+	if spea <= 0 {
+		t.Fatal("SPEA2 produced an empty front")
+	}
+	if spea < elite {
+		t.Errorf("SPEA2 hv %v below elitist hv %v", spea, elite)
+	}
+}

@@ -1,0 +1,162 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+)
+
+// Problem is the immutable optimization instance shared by all
+// evaluations.
+type Problem struct {
+	Arch *model.Architecture
+	Apps *model.AppSet
+	// MaxK is the largest re-execution degree the chromosome encodes.
+	MaxK int
+	// MaxReplicas is the largest replica count the chromosome encodes.
+	MaxReplicas int
+	// Policy is the priority policy used when compiling candidates (nil =
+	// platform.DefaultPolicy).
+	Policy platform.PriorityPolicy
+	// Analysis configures the WCRT wrapper used for feasibility.
+	Analysis core.Config
+
+	taskIDs   []model.TaskID
+	geneIdx   map[model.TaskID]int
+	droppable []string
+}
+
+// NewProblem validates the instance and precomputes the chromosome
+// layout.
+func NewProblem(arch *model.Architecture, apps *model.AppSet) (*Problem, error) {
+	if err := model.ValidateArchitecture(arch); err != nil {
+		return nil, err
+	}
+	if err := model.ValidateAppSet(apps); err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		Arch:        arch,
+		Apps:        apps,
+		MaxK:        3,
+		MaxReplicas: 4,
+		Analysis:    core.NewConfig(),
+	}
+	for _, g := range apps.Graphs {
+		for _, t := range g.Tasks {
+			p.taskIDs = append(p.taskIDs, t.ID)
+		}
+	}
+	sort.Slice(p.taskIDs, func(i, j int) bool { return p.taskIDs[i] < p.taskIDs[j] })
+	p.geneIdx = make(map[model.TaskID]int, len(p.taskIDs))
+	for i, id := range p.taskIDs {
+		p.geneIdx[id] = i
+	}
+	p.droppable = apps.DroppableNames()
+	return p, nil
+}
+
+// TaskIDs returns the chromosome's task ordering.
+func (p *Problem) TaskIDs() []model.TaskID { return p.taskIDs }
+
+// DroppableNames returns the chromosome's droppable-application ordering.
+func (p *Problem) DroppableNames() []string { return p.droppable }
+
+// TotalService is the QoS value when nothing is dropped.
+func (p *Problem) TotalService() float64 {
+	var sum float64
+	for _, name := range p.droppable {
+		sum += p.Apps.Graph(name).Service
+	}
+	return sum
+}
+
+// Phenotype is the decoded design: hardened applications, mapping,
+// allocation and dropped set.
+type Phenotype struct {
+	Manifest *hardening.Manifest
+	Mapping  model.Mapping
+	Alloc    map[model.ProcID]bool
+	Dropped  core.DropSet
+	// Service is sum sv_t over kept droppable graphs.
+	Service float64
+}
+
+// Decode translates a genome into a phenotype (Figure 4, right side). The
+// genome must already be repaired: decode itself performs no validity
+// fixing beyond parameter clamping.
+func (p *Problem) Decode(g *Genome) (*Phenotype, error) {
+	plan := hardening.Plan{}
+	for i, id := range p.taskIDs {
+		ge := g.Genes[i]
+		p.validateGene(&ge)
+		switch ge.Technique {
+		case hardening.ReExecution:
+			plan[id] = hardening.Decision{Technique: hardening.ReExecution, K: ge.K}
+		case hardening.ActiveReplication, hardening.PassiveReplication:
+			plan[id] = hardening.Decision{Technique: ge.Technique, Replicas: ge.Replicas}
+		}
+	}
+	man, err := hardening.Apply(p.Apps, plan)
+	if err != nil {
+		return nil, fmt.Errorf("dse: decode: %w", err)
+	}
+	mapping := model.Mapping{}
+	for i, id := range p.taskIDs {
+		ge := g.Genes[i]
+		p.validateGene(&ge)
+		switch ge.Technique {
+		case hardening.ActiveReplication, hardening.PassiveReplication:
+			for r := 0; r < ge.Replicas; r++ {
+				mapping[hardening.ReplicaID(id, r)] = ge.ReplicaMap[r]
+			}
+			mapping[hardening.VoterID(id)] = ge.VoterMap
+			if ge.Technique == hardening.PassiveReplication {
+				// The dispatch step executes on the voter's processor.
+				mapping[hardening.DispatchID(id)] = ge.VoterMap
+			}
+		default:
+			mapping[id] = ge.Map
+		}
+	}
+	alloc := make(map[model.ProcID]bool)
+	for i, on := range g.Alloc {
+		if on {
+			alloc[p.Arch.Procs[i].ID] = true
+		}
+	}
+	dropped := core.DropSet{}
+	service := 0.0
+	for i, name := range p.droppable {
+		if g.Keep[i] {
+			service += p.Apps.Graph(name).Service
+		} else {
+			dropped[name] = true
+		}
+	}
+	return &Phenotype{
+		Manifest: man,
+		Mapping:  mapping,
+		Alloc:    alloc,
+		Dropped:  dropped,
+		Service:  service,
+	}, nil
+}
+
+// Compile builds the analyzable system from a phenotype.
+func (p *Problem) Compile(ph *Phenotype) (*platform.System, error) {
+	return platform.Compile(p.Arch, ph.Manifest.Apps, ph.Mapping, p.Policy)
+}
+
+// Analyzer returns the backend configured for this problem.
+func (p *Problem) Analyzer() sched.Analyzer {
+	if p.Analysis.Analyzer != nil {
+		return p.Analysis.Analyzer
+	}
+	return &sched.Holistic{}
+}

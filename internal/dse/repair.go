@@ -1,0 +1,256 @@
+package dse
+
+import (
+	"math/rand"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/reliability"
+)
+
+// Repair applies the paper's randomized repair heuristics (Section 4) to
+// a genome in place:
+//
+//  1. if no processor is allocated, allocate a random one;
+//  2. tasks (and replicas/voters) mapped on unallocated processors are
+//     reassigned to a randomly chosen allocated processor ("invalid
+//     mapping" repair);
+//  3. replicas of one task must sit on pairwise distinct processors; when
+//     too few processors are allocated to place them, additional
+//     processors are allocated;
+//  4. while a reliability constraint is violated, random hardening
+//     techniques (re-execution, active or passive replication) are
+//     applied to random tasks of the violating application, up to a
+//     bounded number of attempts.
+//
+// Repair is deterministic for a given rng state. It returns false when
+// the reliability repair budget was exhausted (the candidate is then
+// penalized by the fitness function rather than discarded, as in the
+// paper).
+func (p *Problem) Repair(g *Genome, rng *rand.Rand) bool {
+	p.repairAllocation(g, rng)
+	p.repairMappings(g, rng)
+	p.repairReplicaPlacement(g, rng)
+	return p.repairReliability(g, rng)
+}
+
+func (p *Problem) repairAllocation(g *Genome, rng *rand.Rand) {
+	for _, on := range g.Alloc {
+		if on {
+			return
+		}
+	}
+	g.Alloc[rng.Intn(len(g.Alloc))] = true
+}
+
+// allocatedList returns the allocated processor IDs in declaration order.
+func (p *Problem) allocatedList(g *Genome) []model.ProcID {
+	var out []model.ProcID
+	for i, on := range g.Alloc {
+		if on {
+			out = append(out, p.Arch.Procs[i].ID)
+		}
+	}
+	return out
+}
+
+func (p *Problem) allocIndex(pid model.ProcID) int {
+	for i := range p.Arch.Procs {
+		if p.Arch.Procs[i].ID == pid {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *Problem) repairMappings(g *Genome, rng *rand.Rand) {
+	alloc := p.allocatedList(g)
+	fix := func(pid model.ProcID, task *model.Task) model.ProcID {
+		ok := func(cand model.ProcID) bool {
+			idx := p.allocIndex(cand)
+			if idx < 0 || !g.Alloc[idx] {
+				return false
+			}
+			if task == nil {
+				return true
+			}
+			return task.CanRunOn(p.Arch.Proc(cand).Type)
+		}
+		if ok(pid) {
+			return pid
+		}
+		// Random allocated processor the task can run on; fall back to any
+		// allocated one (the candidate stays structurally invalid and is
+		// penalized, but the GA keeps moving).
+		var fit []model.ProcID
+		for _, cand := range alloc {
+			if ok(cand) {
+				fit = append(fit, cand)
+			}
+		}
+		if len(fit) > 0 {
+			return fit[rng.Intn(len(fit))]
+		}
+		return alloc[rng.Intn(len(alloc))]
+	}
+	for i, id := range p.taskIDs {
+		ge := &g.Genes[i]
+		task := p.taskOf(id)
+		ge.Map = fix(ge.Map, task)
+		ge.VoterMap = fix(ge.VoterMap, nil)
+		for r := range ge.ReplicaMap {
+			ge.ReplicaMap[r] = fix(ge.ReplicaMap[r], task)
+		}
+	}
+}
+
+// taskOf resolves an original task by ID.
+func (p *Problem) taskOf(id model.TaskID) *model.Task {
+	g := p.Apps.GraphOf(id)
+	if g == nil {
+		return nil
+	}
+	return g.Task(id)
+}
+
+func (p *Problem) repairReplicaPlacement(g *Genome, rng *rand.Rand) {
+	for i, id := range p.taskIDs {
+		ge := &g.Genes[i]
+		p.validateGene(ge)
+		if ge.Technique != hardening.ActiveReplication && ge.Technique != hardening.PassiveReplication {
+			continue
+		}
+		task := p.taskOf(id)
+		compatible := func(pid model.ProcID) bool {
+			return task == nil || task.CanRunOn(p.Arch.Proc(pid).Type)
+		}
+		countCompatible := func() int {
+			n := 0
+			for _, pid := range p.allocatedList(g) {
+				if compatible(pid) {
+					n++
+				}
+			}
+			return n
+		}
+		// Ensure enough allocated type-compatible processors exist for
+		// distinct placement.
+		for countCompatible() < ge.Replicas {
+			var off []int
+			for idx, on := range g.Alloc {
+				if !on && compatible(p.Arch.Procs[idx].ID) {
+					off = append(off, idx)
+				}
+			}
+			if len(off) == 0 {
+				// Platform too small for the replica count: shrink it to
+				// what fits.
+				ge.Replicas = countCompatible()
+				if ge.Replicas < 2 {
+					// Replication impossible; degrade to re-execution.
+					ge.Technique = hardening.ReExecution
+					ge.K = 1
+				}
+				p.validateGene(ge)
+				break
+			}
+			g.Alloc[off[rng.Intn(len(off))]] = true
+		}
+		if ge.Technique == hardening.ReExecution {
+			continue
+		}
+		used := map[model.ProcID]bool{}
+		for r := 0; r < ge.Replicas && r < len(ge.ReplicaMap); r++ {
+			if !used[ge.ReplicaMap[r]] && p.isAllocated(g, ge.ReplicaMap[r]) && compatible(ge.ReplicaMap[r]) {
+				used[ge.ReplicaMap[r]] = true
+				continue
+			}
+			// Pick a random free allocated compatible processor.
+			var free []model.ProcID
+			for _, pid := range p.allocatedList(g) {
+				if !used[pid] && compatible(pid) {
+					free = append(free, pid)
+				}
+			}
+			if len(free) == 0 {
+				break // caught by the count loop above
+			}
+			ge.ReplicaMap[r] = free[rng.Intn(len(free))]
+			used[ge.ReplicaMap[r]] = true
+		}
+	}
+}
+
+func (p *Problem) isAllocated(g *Genome, pid model.ProcID) bool {
+	idx := p.allocIndex(pid)
+	return idx >= 0 && g.Alloc[idx]
+}
+
+// reliabilityRepairBudget bounds the random-hardening attempts per genome.
+const reliabilityRepairBudget = 64
+
+func (p *Problem) repairReliability(g *Genome, rng *rand.Rand) bool {
+	for attempt := 0; attempt < reliabilityRepairBudget; attempt++ {
+		ph, err := p.Decode(g)
+		if err != nil {
+			return false
+		}
+		as, err := reliability.Assess(p.Arch, ph.Manifest, ph.Mapping)
+		if err != nil {
+			return false
+		}
+		if as.OK() {
+			return true
+		}
+		// Pick a random task of a random violating graph and harden it
+		// with a random technique, as the paper prescribes.
+		victim := as.Violations[rng.Intn(len(as.Violations))]
+		graph := p.Apps.Graph(victim)
+		task := graph.Tasks[rng.Intn(len(graph.Tasks))]
+		gi := p.geneIndex(task.ID)
+		if gi < 0 {
+			return false
+		}
+		ge := &g.Genes[gi]
+		switch rng.Intn(3) {
+		case 0:
+			ge.Technique = hardening.ReExecution
+			if ge.K < p.MaxK {
+				ge.K++
+			} else {
+				ge.K = p.MaxK
+			}
+		case 1:
+			ge.Technique = hardening.ActiveReplication
+			if ge.Replicas < 3 {
+				ge.Replicas = 3
+			} else if ge.Replicas < p.MaxReplicas {
+				ge.Replicas++
+			}
+		default:
+			ge.Technique = hardening.PassiveReplication
+			if ge.Replicas < hardening.ActiveBase+1 {
+				ge.Replicas = hardening.ActiveBase + 1
+			} else if ge.Replicas < p.MaxReplicas {
+				ge.Replicas++
+			}
+		}
+		p.validateGene(ge)
+		p.repairReplicaPlacement(g, rng)
+		p.repairMappings(g, rng)
+	}
+	// Final check after the last attempt.
+	ph, err := p.Decode(g)
+	if err != nil {
+		return false
+	}
+	as, err := reliability.Assess(p.Arch, ph.Manifest, ph.Mapping)
+	return err == nil && as.OK()
+}
+
+func (p *Problem) geneIndex(id model.TaskID) int {
+	if i, ok := p.geneIdx[id]; ok {
+		return i
+	}
+	return -1
+}

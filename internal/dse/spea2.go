@@ -1,0 +1,214 @@
+package dse
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objectives is a point in objective space; all components are minimized.
+// The paper optimizes (expected power, -service).
+type Objectives [2]float64
+
+// Dominates reports Pareto dominance (all <=, at least one <).
+func (a Objectives) Dominates(b Objectives) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+func (a Objectives) distance(b Objectives) float64 {
+	var d float64
+	for i := range a {
+		d += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	return math.Sqrt(d)
+}
+
+// Selector is the environmental-selection strategy: given the union of
+// the previous archive and the new offspring, it returns the next archive
+// of at most size individuals.
+type Selector interface {
+	Select(union []*Individual, size int) []*Individual
+	// Parents picks mating candidates from the archive.
+	Parents(archive []*Individual, n int, rng *rand.Rand) []*Individual
+	Name() string
+}
+
+// SPEA2 implements the Strength Pareto Evolutionary Algorithm 2 selector
+// (Zitzler, Laumanns, Thiele 2001), the population selector the paper
+// uses: strength-based raw fitness, k-th nearest-neighbour density and
+// iterative archive truncation.
+type SPEA2 struct{}
+
+// Name implements Selector.
+func (SPEA2) Name() string { return "spea2" }
+
+// fitness assigns the SPEA2 fitness F = R + D to every individual in the
+// union (lower is better; F < 1 means non-dominated).
+func (SPEA2) fitness(union []*Individual) {
+	n := len(union)
+	strength := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && union[i].Objectives.Dominates(union[j].Objectives) {
+				strength[i]++
+			}
+		}
+	}
+	k := int(math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	dists := make([]float64, n)
+	for i := 0; i < n; i++ {
+		raw := 0
+		for j := 0; j < n; j++ {
+			if i != j && union[j].Objectives.Dominates(union[i].Objectives) {
+				raw += strength[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			dists[j] = union[i].Objectives.distance(union[j].Objectives)
+		}
+		sort.Float64s(dists)
+		kk := k
+		if kk >= n {
+			kk = n - 1
+		}
+		sigma := dists[kk]
+		union[i].Fitness = float64(raw) + 1.0/(sigma+2.0)
+	}
+}
+
+// Select implements Selector.
+func (s SPEA2) Select(union []*Individual, size int) []*Individual {
+	if len(union) == 0 {
+		return nil
+	}
+	s.fitness(union)
+	var next []*Individual
+	for _, ind := range union {
+		if ind.Fitness < 1 {
+			next = append(next, ind)
+		}
+	}
+	if len(next) > size {
+		next = truncate(next, size)
+	} else if len(next) < size {
+		// Fill with the best dominated individuals.
+		rest := make([]*Individual, 0, len(union))
+		for _, ind := range union {
+			if ind.Fitness >= 1 {
+				rest = append(rest, ind)
+			}
+		}
+		sort.SliceStable(rest, func(i, j int) bool { return rest[i].Fitness < rest[j].Fitness })
+		for _, ind := range rest {
+			if len(next) >= size {
+				break
+			}
+			next = append(next, ind)
+		}
+	}
+	return next
+}
+
+// truncate iteratively removes the individual with the smallest
+// nearest-neighbour distance (ties broken by the next distances), the
+// SPEA2 archive-truncation procedure.
+func truncate(set []*Individual, size int) []*Individual {
+	for len(set) > size {
+		n := len(set)
+		// Per-individual sorted distance vectors.
+		dist := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			dist[i] = make([]float64, 0, n-1)
+			for j := 0; j < n; j++ {
+				if i != j {
+					dist[i] = append(dist[i], set[i].Objectives.distance(set[j].Objectives))
+				}
+			}
+			sort.Float64s(dist[i])
+		}
+		victim := 0
+		for i := 1; i < n; i++ {
+			if lexLess(dist[i], dist[victim]) {
+				victim = i
+			}
+		}
+		set = append(set[:victim], set[victim+1:]...)
+	}
+	return set
+}
+
+// lexLess compares distance vectors lexicographically (smaller = more
+// crowded = removed first).
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Parents implements Selector: binary tournament on SPEA2 fitness.
+func (SPEA2) Parents(archive []*Individual, n int, rng *rand.Rand) []*Individual {
+	out := make([]*Individual, 0, n)
+	for i := 0; i < n; i++ {
+		a := archive[rng.Intn(len(archive))]
+		b := archive[rng.Intn(len(archive))]
+		if b.Fitness < a.Fitness {
+			a = b
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Elitist is a simple single-objective truncation selector (sort by the
+// first objective, keep the best) provided as an ablation of SPEA2.
+type Elitist struct{}
+
+// Name implements Selector.
+func (Elitist) Name() string { return "elitist" }
+
+// Select implements Selector.
+func (Elitist) Select(union []*Individual, size int) []*Individual {
+	sorted := append([]*Individual(nil), union...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Objectives[0] < sorted[j].Objectives[0]
+	})
+	if len(sorted) > size {
+		sorted = sorted[:size]
+	}
+	for i, ind := range sorted {
+		ind.Fitness = float64(i)
+	}
+	return sorted
+}
+
+// Parents implements Selector: uniform choice among the kept elite.
+func (Elitist) Parents(archive []*Individual, n int, rng *rand.Rand) []*Individual {
+	out := make([]*Individual, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, archive[rng.Intn(len(archive))])
+	}
+	return out
+}
+
+var (
+	_ Selector = SPEA2{}
+	_ Selector = Elitist{}
+)

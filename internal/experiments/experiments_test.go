@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mcmap/internal/dse"
+)
+
+func quickGA() dse.Options {
+	return dse.Options{PopSize: 16, Generations: 8, Seed: 1}
+}
+
+// TestMotivationNarrative is E1: the Figure 1 story must hold — feasible
+// fault-free, infeasible under a fault without dropping, feasible again
+// with the low application dropped.
+func TestMotivationNarrative(t *testing.T) {
+	m, err := Motivation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Works() {
+		t.Fatalf("figure-1 narrative broken: normal=%v nodrop=%v drop=%v deadline=%v",
+			m.NormalWCRT, m.NoDropWCRT, m.DropWCRT, m.Deadline)
+	}
+	out := m.Render()
+	for _, want := range []string{"deadline", "Simulated schedule", "P0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestTable2Orderings is E2/E6: the estimator orderings of Section 5.1
+// must hold on the Cruise benchmark.
+func TestTable2Orderings(t *testing.T) {
+	res, err := Table2(Table2Config{WCSimRuns: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SafeEverywhere {
+		t.Error("Proposed failed to bound WC-Sim/Adhoc or exceeded Naive")
+	}
+	if len(res.Rows) != 12 { // 3 mappings x 4 estimators
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	out := res.Render()
+	for _, want := range []string{"Adhoc", "WC-Sim", "Proposed", "Naive", "Mapping 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestTable2AnomalyAtFullBudget checks the paper's observation that the
+// Adhoc trace can undershoot Monte-Carlo simulation. It needs the larger
+// fault budget, so it is skipped in -short runs.
+func TestTable2AnomalyAtFullBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full Monte-Carlo budget")
+	}
+	res, err := Table2(Table2Config{WCSimRuns: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AnomalyObserved {
+		t.Log("note: WC-Sim did not exceed Adhoc at this budget (stochastic)")
+	}
+	if !res.SafeEverywhere {
+		t.Error("safety violated at full budget")
+	}
+}
+
+// TestRescueRatioOrdering is E4: dropping rescues far more solutions on
+// the deadline-tight benchmarks than on the synthetic ones.
+func TestRescueRatioOrdering(t *testing.T) {
+	opts := quickGA()
+	opts.PopSize = 24
+	opts.Generations = 16
+	cruise, err := RescueRatio("cruise", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth2, err := RescueRatio("synth-2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cruise.Stats.RescueRatio() <= synth2.Stats.RescueRatio() {
+		t.Errorf("expected cruise rescue (%v) > synth-2 rescue (%v)",
+			cruise.Stats.RescueRatio(), synth2.Stats.RescueRatio())
+	}
+	// Re-execution dominates the applied hardenings, as in the paper.
+	if cruise.Stats.ReExecutionShare() < 0.5 {
+		t.Errorf("re-execution share %v unexpectedly low", cruise.Stats.ReExecutionShare())
+	}
+	out := RenderRescue([]*RescueResult{cruise, synth2})
+	if !strings.Contains(out, "cruise") || !strings.Contains(out, "%") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestDropGainSmoke is E3 at a smoke budget: both optimizations complete
+// and dropping never yields a worse optimum at equal budgets and seeds.
+func TestDropGainSmoke(t *testing.T) {
+	r, err := DropGain("dt-med", quickGA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.WithFeasible {
+		t.Fatal("dt-med infeasible at smoke budget")
+	}
+	out := RenderDropGains([]*DropGainResult{r})
+	if !strings.Contains(out, "dt-med") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestParetoSmoke is E5 at a smoke budget: the front is non-empty,
+// sorted by power, and service decreases as power decreases.
+func TestParetoSmoke(t *testing.T) {
+	r, err := Pareto("dt-med", quickGA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Power < r.Points[i-1].Power {
+			t.Error("front not sorted by power")
+		}
+		if r.Points[i].Service <= r.Points[i-1].Service {
+			t.Error("front not a proper tradeoff (service must rise with power)")
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Pareto front") || !strings.Contains(out, "power") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestAblations runs the design-choice studies at a smoke budget and
+// checks their expected orderings: the coarse backend dominates the
+// holistic one, repair yields feasible designs where penalty-only does
+// not, and dropping helps only under the rate-first priority policy.
+func TestAblations(t *testing.T) {
+	r, err := Ablations(quickGA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.BackendRows) != 2 || len(r.PolicyRows) != 2 {
+		t.Fatalf("unexpected study sizes: %+v", r)
+	}
+	for i := range r.BackendRows[0].WCRT {
+		if r.BackendRows[1].WCRT[i] < r.BackendRows[0].WCRT[i] {
+			t.Errorf("coarse backend below holistic for app %d", i)
+		}
+	}
+	if r.RepairRows[0].Feasible <= r.RepairRows[1].Feasible {
+		t.Errorf("repair (%d feasible) should beat penalty-only (%d)",
+			r.RepairRows[0].Feasible, r.RepairRows[1].Feasible)
+	}
+	var rateFirst, critFirst *PolicyRow
+	for i := range r.PolicyRows {
+		switch r.PolicyRows[i].Policy {
+		case "rm-crit-topo":
+			rateFirst = &r.PolicyRows[i]
+		case "crit-rm-topo":
+			critFirst = &r.PolicyRows[i]
+		}
+	}
+	if rateFirst == nil || critFirst == nil {
+		t.Fatal("policy rows missing")
+	}
+	if !rateFirst.DropImproves {
+		t.Error("dropping must help under rate-first priorities")
+	}
+	if critFirst.DropImproves {
+		t.Error("dropping must be useless under criticality-first priorities")
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestRenderDropGainEdgeCases covers the infeasible render branches.
+func TestRenderDropGainEdgeCases(t *testing.T) {
+	rows := []*DropGainResult{
+		{Benchmark: "none"},
+		{Benchmark: "half", WithFeasible: true, WithPower: 1.5},
+		{Benchmark: "both", WithFeasible: true, BothFeasible: true, WithPower: 1, WithoutPower: 1.2, ExtraPowerPct: 20},
+	}
+	out := RenderDropGains(rows)
+	for _, want := range []string{"infeasible", "dropping required", "+20.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestParetoScatterEmpty covers the no-points branch.
+func TestParetoScatterEmpty(t *testing.T) {
+	r := &ParetoResult{Benchmark: "x"}
+	if !strings.Contains(r.Render(), "no feasible points") {
+		t.Error("empty-front branch missing")
+	}
+}
+
+// TestTable2UnknownBenchmarkPath ensures estimator errors propagate.
+func TestRescueUnknownBenchmark(t *testing.T) {
+	if _, err := RescueRatio("nope", quickGA()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := DropGain("nope", quickGA()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Pareto("nope", quickGA()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

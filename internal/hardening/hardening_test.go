@@ -1,0 +1,323 @@
+package hardening
+
+import (
+	"strings"
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+// prodCons is the producer-consumer example of Figure 2.
+func prodCons() *model.AppSet {
+	g := model.NewTaskGraph("pc", 100*model.Millisecond).SetCritical(1e-9)
+	g.AddTask("v0", 1*model.Millisecond, 2*model.Millisecond, 300, 500)
+	g.AddTask("v1", 2*model.Millisecond, 5*model.Millisecond, 300, 500)
+	g.AddChannel("v0", "v1", 256)
+	return model.NewAppSet(g)
+}
+
+func TestDecisionValidate(t *testing.T) {
+	ok := []Decision{
+		{},
+		{Technique: ReExecution, K: 1},
+		{Technique: ReExecution, K: 3},
+		{Technique: ActiveReplication, Replicas: 2},
+		{Technique: ActiveReplication, Replicas: 3},
+		{Technique: PassiveReplication, Replicas: 3},
+		{Technique: PassiveReplication, Replicas: 4},
+	}
+	for i, d := range ok {
+		if err := d.Validate(); err != nil {
+			t.Errorf("valid decision %d rejected: %v", i, err)
+		}
+	}
+	bad := []Decision{
+		{Technique: None, K: 1},
+		{Technique: ReExecution},
+		{Technique: ReExecution, K: -1},
+		{Technique: ActiveReplication, Replicas: 1},
+		{Technique: PassiveReplication, Replicas: 2},
+		{Technique: Technique(99)},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("invalid decision %d accepted", i)
+		}
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	if None.String() != "none" || ReExecution.String() != "re-execution" ||
+		ActiveReplication.String() != "active-replication" ||
+		PassiveReplication.String() != "passive-replication" {
+		t.Error("technique strings wrong")
+	}
+	if !strings.Contains(Technique(9).String(), "9") {
+		t.Error("unknown technique string wrong")
+	}
+}
+
+func TestApplyReExecution(t *testing.T) {
+	apps := prodCons()
+	man, err := Apply(apps, Plan{"pc/v1": {Technique: ReExecution, K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Topology unchanged.
+	g := man.Apps.Graphs[0]
+	if len(g.Tasks) != 2 || len(g.Channels) != 1 {
+		t.Fatalf("re-execution must not change topology: %d tasks, %d channels", len(g.Tasks), len(g.Channels))
+	}
+	v1 := g.Task("pc/v1")
+	if v1.ReExec != 2 {
+		t.Errorf("ReExec = %d", v1.ReExec)
+	}
+	// Eq. (1): (5000+500)*3 = 16500.
+	if v1.HardenedWCET() != 16500 {
+		t.Errorf("HardenedWCET = %d, want 16500", v1.HardenedWCET())
+	}
+	// Original untouched.
+	if apps.Graphs[0].Task("pc/v1").ReExec != 0 {
+		t.Error("Apply mutated its input")
+	}
+	if got := man.InstancesOf("pc/v1"); len(got) != 1 || got[0] != "pc/v1" {
+		t.Errorf("Instances = %v", got)
+	}
+}
+
+func TestApplyActiveReplication(t *testing.T) {
+	apps := prodCons()
+	man, err := Apply(apps, Plan{"pc/v0": {Technique: ActiveReplication, Replicas: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := man.Apps.Graphs[0]
+	// v0 replaced by 3 replicas + voter; v1 kept: 5 tasks.
+	if len(g.Tasks) != 5 {
+		t.Fatalf("got %d tasks, want 5", len(g.Tasks))
+	}
+	if g.Task("pc/v0") != nil {
+		t.Error("original task still present")
+	}
+	voter := g.Task(VoterID("pc/v0"))
+	if voter == nil || voter.Kind != model.KindVoter {
+		t.Fatal("voter missing")
+	}
+	if voter.WCET != 300 || voter.BCET != 300 {
+		t.Errorf("voter exec = [%d,%d], want ve=300", voter.BCET, voter.WCET)
+	}
+	for i := 0; i < 3; i++ {
+		r := g.Task(ReplicaID("pc/v0", i))
+		if r == nil {
+			t.Fatalf("replica %d missing", i)
+		}
+		if r.Passive {
+			t.Errorf("active replica %d marked passive", i)
+		}
+		if r.Kind != model.KindReplica || r.Origin != "pc/v0" {
+			t.Errorf("replica %d metadata wrong: %+v", i, r)
+		}
+		if r.WCET != 2*model.Millisecond {
+			t.Errorf("replica %d wcet = %d", i, r.WCET)
+		}
+	}
+	// Channel structure: 3 replica->voter edges + voter->v1.
+	if got := len(g.InChannels(voter.ID)); got != 3 {
+		t.Errorf("voter has %d inputs, want 3", got)
+	}
+	succ := g.Succs(voter.ID)
+	if len(succ) != 1 || succ[0].ID != "pc/v1" {
+		t.Errorf("voter successors = %v", succ)
+	}
+	// Replica->voter carries the result size (the original out size 256).
+	for _, c := range g.InChannels(voter.ID) {
+		if c.Size != 256 {
+			t.Errorf("replica->voter size = %d, want 256", c.Size)
+		}
+	}
+	// Graph is still a valid DAG.
+	if err := model.ValidateGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if man.Voter["pc/v0"] != voter.ID {
+		t.Error("manifest voter missing")
+	}
+	if len(man.InstancesOf("pc/v0")) != 3 {
+		t.Error("manifest instances wrong")
+	}
+}
+
+func TestApplyPassiveReplication(t *testing.T) {
+	apps := prodCons()
+	man, err := Apply(apps, Plan{"pc/v1": {Technique: PassiveReplication, Replicas: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := man.Apps.Graphs[0]
+	actives, passives := 0, 0
+	for _, task := range g.Tasks {
+		if task.Kind != model.KindReplica {
+			continue
+		}
+		if task.Passive {
+			passives++
+		} else {
+			actives++
+		}
+	}
+	if actives != ActiveBase || passives != 1 {
+		t.Errorf("got %d active, %d passive; want %d active, 1 passive", actives, passives, ActiveBase)
+	}
+	// v1 was the consumer: active replicas receive the v0->v1 channel;
+	// the passive replica additionally receives activation edges from
+	// both active replicas.
+	for i := 0; i < ActiveBase; i++ {
+		r := g.Task(ReplicaID("pc/v1", i))
+		preds := g.Preds(r.ID)
+		if len(preds) != 1 || preds[0].ID != "pc/v0" {
+			t.Errorf("active replica %d preds = %v", i, preds)
+		}
+	}
+	pr := g.Task(ReplicaID("pc/v1", 2))
+	if preds := g.Preds(pr.ID); len(preds) != 2 {
+		t.Errorf("passive replica preds = %d, want 2 (v0 + dispatch)", len(preds))
+	} else {
+		seen := map[model.TaskID]bool{}
+		for _, p := range preds {
+			seen[p.ID] = true
+		}
+		if !seen["pc/v0"] || !seen[DispatchID("pc/v1")] {
+			t.Errorf("passive replica preds = %v", preds)
+		}
+	}
+	// The dispatch step receives both active results and is timeless.
+	d := g.Task(DispatchID("pc/v1"))
+	if d == nil || d.Kind != model.KindDispatch {
+		t.Fatal("dispatch step missing")
+	}
+	if d.WCET != 0 || d.BCET != 0 {
+		t.Errorf("dispatch exec = [%d,%d], want timeless", d.BCET, d.WCET)
+	}
+	if preds := g.Preds(d.ID); len(preds) != ActiveBase {
+		t.Errorf("dispatch preds = %d, want %d actives", len(preds), ActiveBase)
+	}
+	// Sink replication: voter has no successors.
+	voter := g.Task(VoterID("pc/v1"))
+	if got := len(g.Succs(voter.ID)); got != 0 {
+		t.Errorf("sink voter has %d successors", got)
+	}
+	if err := model.ValidateGraph(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBothTasks(t *testing.T) {
+	apps := prodCons()
+	man, err := Apply(apps, Plan{
+		"pc/v0": {Technique: ActiveReplication, Replicas: 3},
+		"pc/v1": {Technique: ReExecution, K: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := man.Apps.Graphs[0]
+	if err := model.ValidateGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Task("pc/v1").ReExec != 1 {
+		t.Error("re-execution lost when combined with replication")
+	}
+	counts := man.TechniqueCounts()
+	if counts[ActiveReplication] != 1 || counts[ReExecution] != 1 {
+		t.Errorf("TechniqueCounts = %v", counts)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	apps := prodCons()
+	if _, err := Apply(apps, Plan{"pc/ghost": {Technique: ReExecution, K: 1}}); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := Apply(apps, Plan{"pc/v0": {Technique: ReExecution}}); err == nil {
+		t.Error("invalid decision accepted")
+	}
+}
+
+func TestOriginalOf(t *testing.T) {
+	apps := prodCons()
+	man, err := Apply(apps, Plan{"pc/v0": {Technique: PassiveReplication, Replicas: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.OriginalOf(ReplicaID("pc/v0", 2)) != "pc/v0" {
+		t.Error("replica origin wrong")
+	}
+	if man.OriginalOf(VoterID("pc/v0")) != "pc/v0" {
+		t.Error("voter origin wrong")
+	}
+	if man.OriginalOf("pc/v1") != "pc/v1" {
+		t.Error("identity origin wrong")
+	}
+	reps := man.ReplicatedTasks()
+	if len(reps) != 1 || reps[0] != "pc/v0" {
+		t.Errorf("ReplicatedTasks = %v", reps)
+	}
+}
+
+func TestPlanCloneAndValidate(t *testing.T) {
+	p := Plan{"pc/v0": {Technique: ReExecution, K: 1}}
+	c := p.Clone()
+	c["pc/v0"] = Decision{Technique: ActiveReplication, Replicas: 3}
+	if p["pc/v0"].Technique != ReExecution {
+		t.Error("Clone not independent")
+	}
+	bad := Plan{"x": {Technique: ReExecution}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+// TestReplicationOfMidTask checks full rewiring for a task with both
+// predecessors and successors.
+func TestReplicationOfMidTask(t *testing.T) {
+	g := model.NewTaskGraph("m", model.Second).SetCritical(1e-9)
+	g.AddTask("a", 1, 1, 0, 0)
+	g.AddTask("b", 1, 2, 100, 0)
+	g.AddTask("c", 1, 1, 0, 0)
+	g.AddTask("d", 1, 1, 0, 0)
+	g.AddChannel("a", "b", 10)
+	g.AddChannel("b", "c", 20)
+	g.AddChannel("b", "d", 30)
+	man, err := Apply(model.NewAppSet(g), Plan{"m/b": {Technique: ActiveReplication, Replicas: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := man.Apps.Graphs[0]
+	if err := model.ValidateGraph(ng); err != nil {
+		t.Fatal(err)
+	}
+	// a feeds both replicas.
+	succ := ng.Succs("m/a")
+	if len(succ) != 2 {
+		t.Fatalf("a has %d successors, want 2 replicas", len(succ))
+	}
+	// Voter feeds c and d with original sizes.
+	voter := VoterID("m/b")
+	outs := ng.OutChannels(voter)
+	if len(outs) != 2 {
+		t.Fatalf("voter has %d outputs, want 2", len(outs))
+	}
+	sizes := map[model.TaskID]int64{}
+	for _, c := range outs {
+		sizes[c.Dst] = c.Size
+	}
+	if sizes["m/c"] != 20 || sizes["m/d"] != 30 {
+		t.Errorf("voter output sizes = %v", sizes)
+	}
+	// Replica->voter carries max out size (30).
+	for _, c := range ng.InChannels(voter) {
+		if c.Size != 30 {
+			t.Errorf("replica->voter size = %d, want 30", c.Size)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package hardening
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+// TestApplyRandomPlansPreserveInvariants applies random hardening plans
+// to random DAGs and checks structural invariants of the transformation:
+// the result validates, artifact counts match the decisions, external
+// interfaces (sources/sinks reachability) are preserved, and the input is
+// untouched.
+func TestApplyRandomPlansPreserveInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		g := model.NewTaskGraph("g", model.Time(1000+rng.Intn(1000))).SetCritical(1e-9)
+		n := 2 + rng.Intn(6)
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("t%d", i)
+			w := model.Time(10 + rng.Intn(90))
+			g.AddTask(names[i], w/2, w, model.Time(rng.Intn(5)), model.Time(rng.Intn(5)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddChannel(names[i], names[j], int64(rng.Intn(256)))
+				}
+			}
+		}
+		apps := model.NewAppSet(g)
+		before := apps.Clone()
+
+		plan := Plan{}
+		expectReplicas, expectVoters, expectDispatch := 0, 0, 0
+		replicated := 0
+		for i := 0; i < n; i++ {
+			id := model.MakeTaskID("g", names[i])
+			switch rng.Intn(4) {
+			case 0:
+				plan[id] = Decision{Technique: ReExecution, K: 1 + rng.Intn(3)}
+			case 1:
+				r := 2 + rng.Intn(3)
+				plan[id] = Decision{Technique: ActiveReplication, Replicas: r}
+				expectReplicas += r
+				expectVoters++
+				replicated++
+			case 2:
+				r := 3 + rng.Intn(2)
+				plan[id] = Decision{Technique: PassiveReplication, Replicas: r}
+				expectReplicas += r
+				expectVoters++
+				expectDispatch++
+				replicated++
+			}
+		}
+		man, err := Apply(apps, plan)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		out := man.Apps.Graphs[0]
+		if err := model.ValidateGraph(out); err != nil {
+			t.Fatalf("trial %d: transformed graph invalid: %v", trial, err)
+		}
+		// Count artifacts.
+		gotReplicas, gotVoters, gotDispatch, gotRegular := 0, 0, 0, 0
+		passives := 0
+		for _, task := range out.Tasks {
+			switch task.Kind {
+			case model.KindReplica:
+				gotReplicas++
+				if task.Passive {
+					passives++
+				}
+			case model.KindVoter:
+				gotVoters++
+			case model.KindDispatch:
+				gotDispatch++
+			default:
+				gotRegular++
+			}
+		}
+		if gotReplicas != expectReplicas || gotVoters != expectVoters || gotDispatch != expectDispatch {
+			t.Fatalf("trial %d: artifacts = (%d,%d,%d), want (%d,%d,%d)",
+				trial, gotReplicas, gotVoters, gotDispatch, expectReplicas, expectVoters, expectDispatch)
+		}
+		if gotRegular != n-replicated {
+			t.Fatalf("trial %d: %d regular tasks left, want %d", trial, gotRegular, n-replicated)
+		}
+		// Every passive replica has exactly ActiveBase active siblings.
+		for _, task := range out.Tasks {
+			if task.Kind != model.KindReplica {
+				continue
+			}
+			d := plan[task.Origin]
+			if d.Technique == PassiveReplication {
+				actives := 0
+				for _, sid := range man.InstancesOf(task.Origin) {
+					if !out.Task(sid).Passive {
+						actives++
+					}
+				}
+				if actives != ActiveBase {
+					t.Fatalf("trial %d: %d active replicas for passive task, want %d", trial, actives, ActiveBase)
+				}
+			}
+		}
+		// Manifest origin covers every task in T'.
+		for _, task := range out.Tasks {
+			if man.OriginalOf(task.ID) == "" {
+				t.Fatalf("trial %d: task %q has no origin", trial, task.ID)
+			}
+		}
+		// The input set was not mutated.
+		if len(before.Graphs[0].Tasks) != len(apps.Graphs[0].Tasks) {
+			t.Fatalf("trial %d: input mutated", trial)
+		}
+		for i, task := range apps.Graphs[0].Tasks {
+			if !reflect.DeepEqual(task, before.Graphs[0].Tasks[i]) {
+				t.Fatalf("trial %d: input task %q mutated", trial, task.ID)
+			}
+		}
+	}
+}

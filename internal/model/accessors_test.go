@@ -1,0 +1,75 @@
+package model
+
+import "testing"
+
+func TestGraphAccessorsMissingIDs(t *testing.T) {
+	g := demoGraph()
+	if g.Task("app/ghost") != nil || g.TaskByName("ghost") != nil {
+		t.Error("missing task resolved")
+	}
+	if len(g.Preds("app/ghost")) != 0 || len(g.Succs("app/ghost")) != 0 {
+		t.Error("missing task has neighbors")
+	}
+	if len(g.InChannels("app/a")) != 0 {
+		t.Error("source has inputs")
+	}
+	if len(g.OutChannels("app/c")) != 0 {
+		t.Error("sink has outputs")
+	}
+}
+
+func TestRebuildIndexAfterMutation(t *testing.T) {
+	g := demoGraph()
+	// Simulate external mutation of the Tasks slice.
+	g.Tasks = g.Tasks[:2]
+	g.RebuildIndex()
+	if g.Task("app/c") != nil {
+		t.Error("stale index entry")
+	}
+	if g.Task("app/a") == nil {
+		t.Error("index lost live entry")
+	}
+}
+
+func TestAppSetGraphOfMissing(t *testing.T) {
+	s := NewAppSet(demoGraph())
+	if s.GraphOf("nope/x") != nil {
+		t.Error("missing task resolved to a graph")
+	}
+	if s.Graph("nope") != nil {
+		t.Error("missing graph resolved")
+	}
+}
+
+func TestAllTasksOrder(t *testing.T) {
+	g1 := demoGraph()
+	g2 := NewTaskGraph("z", Second).SetService(1)
+	g2.AddTask("x", 1, 1, 0, 0)
+	s := NewAppSet(g1, g2)
+	all := s.AllTasks()
+	if len(all) != 4 || all[0].ID != "app/a" || all[3].ID != "z/x" {
+		t.Errorf("AllTasks order wrong: %v", all)
+	}
+}
+
+func TestEffectiveServiceAndHyperperiodErrors(t *testing.T) {
+	s := NewAppSet()
+	if _, err := s.Hyperperiod(); err == nil {
+		t.Error("empty set hyperperiod accepted")
+	}
+	g := NewTaskGraph("g", 0)
+	g.Period = -5
+	s2 := NewAppSet(g)
+	if _, err := s2.Hyperperiod(); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+func TestInfinityHelpers(t *testing.T) {
+	if !Infinity.IsInfinite() || Time(5).IsInfinite() {
+		t.Error("IsInfinite wrong")
+	}
+	if SatAdd(5, 6) != 11 {
+		t.Error("SatAdd basic")
+	}
+}

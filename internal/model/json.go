@@ -1,0 +1,76 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spec bundles a full problem instance for serialization: the platform,
+// the application set and optionally a mapping. It is the on-disk format
+// consumed by the command-line tools.
+type Spec struct {
+	Architecture *Architecture `json:"architecture"`
+	Apps         *AppSet       `json:"apps"`
+	Mapping      Mapping       `json:"mapping,omitempty"`
+}
+
+// Validate checks the whole spec.
+func (s *Spec) Validate() error {
+	if err := ValidateArchitecture(s.Architecture); err != nil {
+		return err
+	}
+	if err := ValidateAppSet(s.Apps); err != nil {
+		return err
+	}
+	if s.Mapping != nil {
+		if err := ValidateMapping(s.Architecture, s.Apps, s.Mapping); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the spec as indented JSON.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSpec parses and validates a spec from JSON.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads a spec from a file.
+func LoadSpec(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpec(f)
+}
+
+// SaveSpec writes a spec to a file.
+func SaveSpec(path string, s *Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randomSpecGraph builds a random valid task graph for round-trip tests.
+func randomSpecGraph(rng *rand.Rand, name string) *TaskGraph {
+	g := NewTaskGraph(name, Time(1000+rng.Intn(9000)))
+	if rng.Intn(2) == 0 {
+		g.SetCritical(1e-9)
+		g.Deadline = g.Period * Time(50+rng.Intn(50)) / 100
+	} else {
+		g.SetService(float64(rng.Intn(10)))
+	}
+	n := 1 + rng.Intn(6)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("t%d", i)
+		w := Time(1 + rng.Intn(100))
+		task := g.AddTask(names[i], w/2, w, Time(rng.Intn(10)), Time(rng.Intn(10)))
+		if rng.Intn(4) == 0 {
+			task.ReExec = 1 + rng.Intn(3)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			g.AddChannel(names[rng.Intn(i)], names[i], int64(rng.Intn(4096)))
+		}
+	}
+	return g
+}
+
+// TestSpecJSONRoundTripRandom: serialization preserves every field the
+// analyses read, across random specs.
+func TestSpecJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		arch := &Architecture{Name: "a", Fabric: Fabric{Bandwidth: float64(rng.Intn(1000)), BaseLatency: Time(rng.Intn(100)), Shared: rng.Intn(2) == 0}}
+		nProcs := 1 + rng.Intn(5)
+		for i := 0; i < nProcs; i++ {
+			arch.Procs = append(arch.Procs, Processor{
+				ID: ProcID(i), Name: fmt.Sprintf("p%d", i),
+				StaticPower: rng.Float64(), DynPower: rng.Float64() * 3,
+				FaultRate: rng.Float64() * 1e-6, NonPreemptive: rng.Intn(3) == 0,
+			})
+		}
+		nGraphs := 1 + rng.Intn(3)
+		var graphs []*TaskGraph
+		mapping := Mapping{}
+		for gi := 0; gi < nGraphs; gi++ {
+			g := randomSpecGraph(rng, fmt.Sprintf("g%d", gi))
+			graphs = append(graphs, g)
+			for _, task := range g.Tasks {
+				mapping[task.ID] = ProcID(rng.Intn(nProcs))
+			}
+		}
+		spec := &Spec{Architecture: arch, Apps: NewAppSet(graphs...), Mapping: mapping}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var sb strings.Builder
+		if err := spec.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSpec(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Field-level comparison of everything timing-relevant.
+		if len(back.Architecture.Procs) != nProcs {
+			t.Fatal("procs lost")
+		}
+		for i := range arch.Procs {
+			a, b := arch.Procs[i], back.Architecture.Procs[i]
+			if a != b {
+				t.Fatalf("trial %d: proc %d changed: %+v vs %+v", trial, i, a, b)
+			}
+		}
+		if back.Architecture.Fabric != arch.Fabric {
+			t.Fatal("fabric changed")
+		}
+		for gi, g := range graphs {
+			h := back.Apps.Graphs[gi]
+			if g.Name != h.Name || g.Period != h.Period || g.Deadline != h.Deadline ||
+				g.ReliabilityBound != h.ReliabilityBound || g.Service != h.Service {
+				t.Fatalf("trial %d: graph header changed", trial)
+			}
+			for ti, task := range g.Tasks {
+				u := h.Tasks[ti]
+				if !reflect.DeepEqual(task, u) {
+					t.Fatalf("trial %d: task %q changed: %+v vs %+v", trial, task.ID, task, u)
+				}
+			}
+			if len(g.Channels) != len(h.Channels) {
+				t.Fatal("channels lost")
+			}
+		}
+		for id, pid := range mapping {
+			if back.Mapping[id] != pid {
+				t.Fatalf("trial %d: mapping of %q changed", trial, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoGraph() *TaskGraph {
+	g := NewTaskGraph("app", 100*Millisecond).SetCritical(1e-9)
+	g.AddTask("a", 1*Millisecond, 2*Millisecond, 0, 100)
+	g.AddTask("b", 2*Millisecond, 4*Millisecond, 50, 100)
+	g.AddTask("c", 1*Millisecond, 3*Millisecond, 0, 0)
+	g.AddChannel("a", "b", 64)
+	g.AddChannel("b", "c", 128)
+	return g
+}
+
+func TestGraphBuilding(t *testing.T) {
+	g := demoGraph()
+	if len(g.Tasks) != 3 || len(g.Channels) != 2 {
+		t.Fatalf("got %d tasks, %d channels", len(g.Tasks), len(g.Channels))
+	}
+	b := g.TaskByName("b")
+	if b == nil {
+		t.Fatal("task b missing")
+	}
+	if b.ID != "app/b" {
+		t.Errorf("ID = %q", b.ID)
+	}
+	if g.Droppable() {
+		t.Error("critical graph reported droppable")
+	}
+	preds := g.Preds("app/b")
+	if len(preds) != 1 || preds[0].Name != "a" {
+		t.Errorf("Preds(b) = %v", preds)
+	}
+	succs := g.Succs("app/b")
+	if len(succs) != 1 || succs[0].Name != "c" {
+		t.Errorf("Succs(b) = %v", succs)
+	}
+	if got := len(g.InChannels("app/b")); got != 1 {
+		t.Errorf("InChannels(b) = %d", got)
+	}
+	if got := len(g.OutChannels("app/b")); got != 1 {
+		t.Errorf("OutChannels(b) = %d", got)
+	}
+}
+
+func TestDuplicateTaskPanics(t *testing.T) {
+	g := NewTaskGraph("g", Second)
+	g.AddTask("x", 1, 2, 0, 0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic on duplicate task")
+		} else if !strings.Contains(r.(string), "duplicate") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	g.AddTask("x", 1, 2, 0, 0)
+}
+
+func TestServiceClassification(t *testing.T) {
+	g := NewTaskGraph("low", Second).SetService(5)
+	if !g.Droppable() {
+		t.Error("service graph should be droppable")
+	}
+	if g.EffectiveService() != 5 {
+		t.Errorf("EffectiveService = %v", g.EffectiveService())
+	}
+	c := NewTaskGraph("hi", Second).SetCritical(1e-12)
+	if c.EffectiveService() != NonDroppableService {
+		t.Error("critical graph must have infinite service")
+	}
+}
+
+func TestSetCriticalPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTaskGraph("g", Second).SetCritical(0)
+}
+
+func TestEffectiveDeadline(t *testing.T) {
+	g := NewTaskGraph("g", 10)
+	if g.EffectiveDeadline() != 10 {
+		t.Error("implicit deadline should equal period")
+	}
+	g.Deadline = 7
+	if g.EffectiveDeadline() != 7 {
+		t.Error("explicit deadline ignored")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := demoGraph()
+	c := g.Clone()
+	c.TaskByName("a").WCET = 999
+	c.Channels[0].Size = 1
+	c.AddTask("d", 1, 1, 0, 0)
+	if g.TaskByName("a").WCET == 999 {
+		t.Error("clone shares task storage")
+	}
+	if g.Channels[0].Size == 1 {
+		t.Error("clone shares channel storage")
+	}
+	if len(g.Tasks) != 3 {
+		t.Error("clone shares task slice")
+	}
+}
+
+func TestTaskHardenedWCET(t *testing.T) {
+	v := &Task{BCET: 10, WCET: 100, DetectOverhead: 5}
+	if v.NominalWCET() != 100 {
+		t.Errorf("unhardened NominalWCET = %d", v.NominalWCET())
+	}
+	v.ReExec = 2
+	if v.NominalWCET() != 105 {
+		t.Errorf("hardened NominalWCET = %d, want 105", v.NominalWCET())
+	}
+	if v.NominalBCET() != 15 {
+		t.Errorf("hardened NominalBCET = %d, want 15", v.NominalBCET())
+	}
+	// Eq. (1): (100+5)*(2+1) = 315.
+	if v.HardenedWCET() != 315 {
+		t.Errorf("HardenedWCET = %d, want 315", v.HardenedWCET())
+	}
+}
+
+func TestAppSet(t *testing.T) {
+	g1 := demoGraph()
+	g2 := NewTaskGraph("other", 50*Millisecond).SetService(3)
+	g2.AddTask("x", 1, 2, 0, 0)
+	s := NewAppSet(g1, g2)
+	if s.Graph("app") != g1 || s.Graph("nope") != nil {
+		t.Error("Graph lookup broken")
+	}
+	if s.GraphOf("other/x") != g2 {
+		t.Error("GraphOf broken")
+	}
+	if s.NumTasks() != 4 {
+		t.Errorf("NumTasks = %d", s.NumTasks())
+	}
+	hp, err := s.Hyperperiod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp != 100*Millisecond {
+		t.Errorf("Hyperperiod = %v", hp)
+	}
+	if names := s.DroppableNames(); len(names) != 1 || names[0] != "other" {
+		t.Errorf("DroppableNames = %v", names)
+	}
+	c := s.Clone()
+	c.Graphs[0].TaskByName("a").WCET = 1
+	if g1.TaskByName("a").WCET == 1 {
+		t.Error("AppSet clone not deep")
+	}
+}
+
+func TestProcessorScaling(t *testing.T) {
+	p := Processor{Speed: 2.0}
+	if got := p.ScaleExec(101); got != 51 {
+		t.Errorf("ScaleExec(101)@2x = %d, want 51 (ceil)", got)
+	}
+	if got := p.ScaleExecFloor(101); got != 50 {
+		t.Errorf("ScaleExecFloor(101)@2x = %d, want 50", got)
+	}
+	var def Processor
+	if def.EffectiveSpeed() != 1.0 || def.ScaleExec(77) != 77 {
+		t.Error("default speed should be identity")
+	}
+}
+
+func TestFabricTransferTime(t *testing.T) {
+	f := Fabric{Bandwidth: 8, BaseLatency: 10}
+	if got := f.TransferTime(64); got != 18 {
+		t.Errorf("TransferTime(64) = %d, want 18", got)
+	}
+	if got := f.TransferTime(0); got != 10 {
+		t.Errorf("TransferTime(0) = %d, want base latency", got)
+	}
+	inf := Fabric{BaseLatency: 3}
+	if got := inf.TransferTime(1 << 20); got != 3 {
+		t.Errorf("infinite-bandwidth TransferTime = %d, want 3", got)
+	}
+}
+
+func TestMapping(t *testing.T) {
+	m := Mapping{"g/a": 0, "g/b": 1}
+	c := m.Clone()
+	c["g/a"] = 7
+	if m["g/a"] != 0 {
+		t.Error("Clone not independent")
+	}
+	if m.ProcOf("g/a") != 0 || m.ProcOf("missing") != InvalidProc {
+		t.Error("ProcOf broken")
+	}
+	used := m.UsedProcs()
+	if !used[0] || !used[1] || len(used) != 2 {
+		t.Errorf("UsedProcs = %v", used)
+	}
+}
+
+func TestArchitectureLookup(t *testing.T) {
+	a := &Architecture{Procs: []Processor{{ID: 0, Name: "p0"}, {ID: 3, Name: "p3"}}}
+	if a.Proc(3) == nil || a.Proc(3).Name != "p3" {
+		t.Error("Proc(3) lookup failed")
+	}
+	if a.Proc(1) != nil {
+		t.Error("Proc(1) should be nil")
+	}
+	ids := a.ProcIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 3 {
+		t.Errorf("ProcIDs = %v", ids)
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	if KindRegular.String() != "regular" || KindReplica.String() != "replica" || KindVoter.String() != "voter" {
+		t.Error("TaskKind strings wrong")
+	}
+	if TaskKind(42).String() != "TaskKind(42)" {
+		t.Error("unknown kind string wrong")
+	}
+}

@@ -1,0 +1,144 @@
+package model
+
+import "fmt"
+
+// TopoOrder returns the tasks of g in a deterministic topological order
+// (declaration order among ready tasks), or an error if the graph has a
+// cycle or dangling channel endpoints.
+func TopoOrder(g *TaskGraph) ([]*Task, error) {
+	indeg := make(map[TaskID]int, len(g.Tasks))
+	for _, t := range g.Tasks {
+		indeg[t.ID] = 0
+	}
+	for _, c := range g.Channels {
+		if _, ok := indeg[c.Src]; !ok {
+			return nil, fmt.Errorf("model: graph %q: channel source %q not in graph", g.Name, c.Src)
+		}
+		if _, ok := indeg[c.Dst]; !ok {
+			return nil, fmt.Errorf("model: graph %q: channel destination %q not in graph", g.Name, c.Dst)
+		}
+		indeg[c.Dst]++
+	}
+	// Kahn's algorithm with a declaration-ordered ready list for
+	// determinism.
+	var order []*Task
+	ready := make([]*Task, 0, len(g.Tasks))
+	for _, t := range g.Tasks {
+		if indeg[t.ID] == 0 {
+			ready = append(ready, t)
+		}
+	}
+	for len(ready) > 0 {
+		t := ready[0]
+		ready = ready[1:]
+		order = append(order, t)
+		for _, s := range g.Succs(t.ID) {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(g.Tasks) {
+		return nil, fmt.Errorf("model: graph %q contains a cycle", g.Name)
+	}
+	return order, nil
+}
+
+// Sources returns the tasks with no predecessors.
+func Sources(g *TaskGraph) []*Task {
+	hasPred := make(map[TaskID]bool)
+	for _, c := range g.Channels {
+		hasPred[c.Dst] = true
+	}
+	var out []*Task
+	for _, t := range g.Tasks {
+		if !hasPred[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Sinks returns the tasks with no successors. A graph's worst-case
+// response time is the latest completion among its sinks.
+func Sinks(g *TaskGraph) []*Task {
+	hasSucc := make(map[TaskID]bool)
+	for _, c := range g.Channels {
+		hasSucc[c.Src] = true
+	}
+	var out []*Task
+	for _, t := range g.Tasks {
+		if !hasSucc[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of task IDs reachable from start (inclusive)
+// by following channels forward.
+func Reachable(g *TaskGraph, start TaskID) map[TaskID]bool {
+	seen := map[TaskID]bool{start: true}
+	stack := []TaskID{start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs(id) {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, s.ID)
+			}
+		}
+	}
+	return seen
+}
+
+// Depths returns each task's depth: 0 for sources, otherwise
+// 1 + max(depth of predecessors). It requires an acyclic graph.
+func Depths(g *TaskGraph) (map[TaskID]int, error) {
+	order, err := TopoOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	depth := make(map[TaskID]int, len(order))
+	for _, t := range order {
+		d := 0
+		for _, p := range g.Preds(t.ID) {
+			if depth[p.ID]+1 > d {
+				d = depth[p.ID] + 1
+			}
+		}
+		depth[t.ID] = d
+	}
+	return depth, nil
+}
+
+// CriticalPathLength returns the longest source-to-sink path length of g
+// using the provided per-task cost function (e.g. WCET). Channels
+// contribute the cost returned by edgeCost (may be nil for zero).
+func CriticalPathLength(g *TaskGraph, cost func(*Task) Time, edgeCost func(*Channel) Time) (Time, error) {
+	order, err := TopoOrder(g)
+	if err != nil {
+		return 0, err
+	}
+	finish := make(map[TaskID]Time, len(order))
+	var best Time
+	for _, t := range order {
+		start := Time(0)
+		for _, c := range g.InChannels(t.ID) {
+			e := Time(0)
+			if edgeCost != nil {
+				e = edgeCost(c)
+			}
+			if f := finish[c.Src] + e; f > start {
+				start = f
+			}
+		}
+		finish[t.ID] = start + cost(t)
+		if finish[t.ID] > best {
+			best = finish[t.ID]
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,154 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func diamond() *TaskGraph {
+	g := NewTaskGraph("d", Second)
+	g.AddTask("src", 1, 1, 0, 0)
+	g.AddTask("l", 1, 2, 0, 0)
+	g.AddTask("r", 1, 3, 0, 0)
+	g.AddTask("sink", 1, 1, 0, 0)
+	g.AddChannel("src", "l", 8)
+	g.AddChannel("src", "r", 8)
+	g.AddChannel("l", "sink", 8)
+	g.AddChannel("r", "sink", 8)
+	return g
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := diamond()
+	order, err := TopoOrder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[TaskID]int{}
+	for i, v := range order {
+		pos[v.ID] = i
+	}
+	for _, c := range g.Channels {
+		if pos[c.Src] >= pos[c.Dst] {
+			t.Errorf("edge %s->%s violates topological order", c.Src, c.Dst)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := NewTaskGraph("c", Second)
+	g.AddTask("a", 1, 1, 0, 0)
+	g.AddTask("b", 1, 1, 0, 0)
+	g.AddChannel("a", "b", 0)
+	g.AddChannel("b", "a", 0)
+	if _, err := TopoOrder(g); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestTopoOrderDanglingChannel(t *testing.T) {
+	g := NewTaskGraph("d", Second)
+	g.AddTask("a", 1, 1, 0, 0)
+	g.Channels = append(g.Channels, &Channel{Src: "d/a", Dst: "d/ghost"})
+	if _, err := TopoOrder(g); err == nil {
+		t.Fatal("dangling destination not detected")
+	}
+	g2 := NewTaskGraph("d2", Second)
+	g2.AddTask("a", 1, 1, 0, 0)
+	g2.Channels = append(g2.Channels, &Channel{Src: "d2/ghost", Dst: "d2/a"})
+	if _, err := TopoOrder(g2); err == nil {
+		t.Fatal("dangling source not detected")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond()
+	src := Sources(g)
+	if len(src) != 1 || src[0].Name != "src" {
+		t.Errorf("Sources = %v", src)
+	}
+	snk := Sinks(g)
+	if len(snk) != 1 || snk[0].Name != "sink" {
+		t.Errorf("Sinks = %v", snk)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := diamond()
+	r := Reachable(g, "d/l")
+	if !r["d/l"] || !r["d/sink"] || r["d/src"] || r["d/r"] {
+		t.Errorf("Reachable(l) = %v", r)
+	}
+}
+
+func TestDepths(t *testing.T) {
+	g := diamond()
+	d, err := Depths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[TaskID]int{"d/src": 0, "d/l": 1, "d/r": 1, "d/sink": 2}
+	for id, w := range want {
+		if d[id] != w {
+			t.Errorf("depth[%s] = %d, want %d", id, d[id], w)
+		}
+	}
+}
+
+func TestCriticalPathLength(t *testing.T) {
+	g := diamond()
+	got, err := CriticalPathLength(g, func(v *Task) Time { return v.WCET }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src(1) + r(3) + sink(1) = 5.
+	if got != 5 {
+		t.Errorf("CriticalPathLength = %d, want 5", got)
+	}
+	withEdges, err := CriticalPathLength(g, func(v *Task) Time { return v.WCET }, func(*Channel) Time { return 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEdges != 25 {
+		t.Errorf("CriticalPathLength with edges = %d, want 25", withEdges)
+	}
+}
+
+// TestTopoOrderRandomDAGs property-checks Kahn's algorithm on random
+// layered DAGs: the output is a permutation respecting all edges.
+func TestTopoOrderRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		g := NewTaskGraph("r", Second)
+		n := 3 + rng.Intn(20)
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+			g.AddTask(names[i], 1, 1, 0, 0)
+		}
+		// Edges only forward in index order: guaranteed acyclic.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.AddChannel(names[i], names[j], 1)
+				}
+			}
+		}
+		order, err := TopoOrder(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(order) != n {
+			t.Fatalf("trial %d: order has %d of %d tasks", trial, len(order), n)
+		}
+		pos := map[TaskID]int{}
+		for i, v := range order {
+			pos[v.ID] = i
+		}
+		for _, c := range g.Channels {
+			if pos[c.Src] >= pos[c.Dst] {
+				t.Fatalf("trial %d: edge order violated", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package model
+
+import "testing"
+
+func TestCanRunOn(t *testing.T) {
+	v := &Task{}
+	if !v.CanRunOn("anything") {
+		t.Error("unrestricted task refused a type")
+	}
+	v.AllowedTypes = []string{"dsp", "gpu"}
+	if !v.CanRunOn("dsp") || !v.CanRunOn("gpu") || v.CanRunOn("risc") {
+		t.Error("type restriction broken")
+	}
+}
+
+func TestValidateMappingEnforcesTypes(t *testing.T) {
+	arch := &Architecture{
+		Procs: []Processor{
+			{ID: 0, Name: "r0", Type: "risc"},
+			{ID: 1, Name: "d0", Type: "dsp"},
+		},
+	}
+	g := NewTaskGraph("g", Second).SetCritical(1e-9)
+	task := g.AddTask("fir", 1, 2, 0, 0)
+	task.AllowedTypes = []string{"dsp"}
+	apps := NewAppSet(g)
+	if err := ValidateMapping(arch, apps, Mapping{"g/fir": 1}); err != nil {
+		t.Errorf("dsp mapping rejected: %v", err)
+	}
+	if err := ValidateMapping(arch, apps, Mapping{"g/fir": 0}); err == nil {
+		t.Error("risc mapping accepted for a dsp-only task")
+	}
+}
+
+func TestCloneCopiesAllowedTypes(t *testing.T) {
+	g := NewTaskGraph("g", Second).SetCritical(1e-9)
+	task := g.AddTask("t", 1, 2, 0, 0)
+	task.AllowedTypes = []string{"dsp"}
+	c := g.Clone()
+	c.TaskByName("t").AllowedTypes[0] = "gpu"
+	if task.AllowedTypes[0] != "dsp" {
+		t.Error("Clone shares AllowedTypes storage")
+	}
+}

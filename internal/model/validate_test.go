@@ -1,0 +1,177 @@
+package model
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validArch() *Architecture {
+	return &Architecture{
+		Name: "quad",
+		Procs: []Processor{
+			{ID: 0, Name: "p0", StaticPower: 0.1, DynPower: 1.0, FaultRate: 1e-9},
+			{ID: 1, Name: "p1", StaticPower: 0.1, DynPower: 1.0, FaultRate: 1e-9},
+		},
+		Fabric: Fabric{Bandwidth: 100, BaseLatency: 5},
+	}
+}
+
+func TestValidateArchitectureOK(t *testing.T) {
+	if err := ValidateArchitecture(validArch()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateArchitectureErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Architecture)
+		want   string
+	}{
+		{"no procs", func(a *Architecture) { a.Procs = nil }, "no processors"},
+		{"dup id", func(a *Architecture) { a.Procs[1].ID = 0 }, "duplicate processor ID"},
+		{"dup name", func(a *Architecture) { a.Procs[1].Name = "p0" }, "duplicate processor name"},
+		{"neg id", func(a *Architecture) { a.Procs[0].ID = -2 }, "negative ID"},
+		{"neg power", func(a *Architecture) { a.Procs[0].DynPower = -1 }, "negative power"},
+		{"neg rate", func(a *Architecture) { a.Procs[0].FaultRate = -1 }, "negative fault rate"},
+		{"neg speed", func(a *Architecture) { a.Procs[0].Speed = -1 }, "negative speed"},
+		{"neg bw", func(a *Architecture) { a.Fabric.Bandwidth = -1 }, "negative bandwidth"},
+		{"neg lat", func(a *Architecture) { a.Fabric.BaseLatency = -1 }, "negative base latency"},
+	}
+	for _, c := range cases {
+		a := validArch()
+		c.mutate(a)
+		err := ValidateArchitecture(a)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: error not wrapped in ErrInvalid", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+	if err := ValidateArchitecture(nil); err == nil {
+		t.Error("nil architecture should fail")
+	}
+}
+
+func TestValidateGraphErrors(t *testing.T) {
+	mk := func() *TaskGraph { return demoGraph() }
+	cases := []struct {
+		name   string
+		mutate func(*TaskGraph)
+		want   string
+	}{
+		{"zero period", func(g *TaskGraph) { g.Period = 0 }, "non-positive period"},
+		{"neg deadline", func(g *TaskGraph) { g.Deadline = -1 }, "negative deadline"},
+		{"no tasks", func(g *TaskGraph) { g.Tasks = nil; g.Channels = nil }, "no tasks"},
+		{"bcet>wcet", func(g *TaskGraph) { g.TaskByName("a").BCET = 99 * Second }, "bcet"},
+		{"neg exec", func(g *TaskGraph) { g.TaskByName("a").WCET = -1 }, "negative execution"},
+		{"neg overhead", func(g *TaskGraph) { g.TaskByName("a").VoteOverhead = -1 }, "negative overhead"},
+		{"neg reexec", func(g *TaskGraph) { g.TaskByName("a").ReExec = -1 }, "negative re-execution"},
+		{"self loop", func(g *TaskGraph) { g.AddChannel("a", "a", 1) }, "self-loop"},
+		{"neg size", func(g *TaskGraph) { g.Channels[0].Size = -1 }, "negative size"},
+		{"missing src", func(g *TaskGraph) { g.Channels[0].Src = "app/ghost" }, "missing source"},
+		{"missing dst", func(g *TaskGraph) { g.Channels[0].Dst = "app/ghost" }, "missing destination"},
+	}
+	for _, c := range cases {
+		g := mk()
+		c.mutate(g)
+		if err := ValidateGraph(g); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+	if err := ValidateGraph(demoGraph()); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}
+
+func TestValidateGraphCycle(t *testing.T) {
+	g := NewTaskGraph("c", Second)
+	g.AddTask("a", 1, 1, 0, 0)
+	g.AddTask("b", 1, 1, 0, 0)
+	g.AddChannel("a", "b", 0)
+	g.AddChannel("b", "a", 0)
+	err := ValidateGraph(g)
+	if err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("cycle should be ErrInvalid, got %v", err)
+	}
+}
+
+func TestValidateAppSet(t *testing.T) {
+	g1 := demoGraph()
+	g2 := NewTaskGraph("app2", 50*Millisecond).SetService(1)
+	g2.AddTask("x", 1, 1, 0, 0)
+	if err := ValidateAppSet(NewAppSet(g1, g2)); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate graph name.
+	dup := demoGraph()
+	if err := ValidateAppSet(NewAppSet(g1, dup)); err == nil {
+		t.Error("duplicate graph name accepted")
+	}
+	// Empty set.
+	if err := ValidateAppSet(NewAppSet()); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestValidateMapping(t *testing.T) {
+	arch := validArch()
+	apps := NewAppSet(demoGraph())
+	m := Mapping{"app/a": 0, "app/b": 1, "app/c": 0}
+	if err := ValidateMapping(arch, apps, m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "app/c")
+	if err := ValidateMapping(arch, apps, m); err == nil {
+		t.Error("unmapped task accepted")
+	}
+	m["app/c"] = 42
+	if err := ValidateMapping(arch, apps, m); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	if err := ValidateMapping(arch, apps, nil); err == nil {
+		t.Error("nil mapping accepted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := &Spec{
+		Architecture: validArch(),
+		Apps:         NewAppSet(demoGraph()),
+		Mapping:      Mapping{"app/a": 0, "app/b": 1, "app/c": 0},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := spec.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpec(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Apps.Graphs[0].Name != "app" || back.Apps.Graphs[0].TaskByName("b").WCET != 4*Millisecond {
+		t.Error("round trip lost data")
+	}
+	if back.Mapping["app/b"] != 1 {
+		t.Error("round trip lost mapping")
+	}
+}
+
+func TestReadSpecRejectsGarbage(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"architecture":null,"apps":null}`)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,434 @@
+// Package platform compiles a problem instance — architecture, (hardened)
+// application set and a task-to-processor mapping — into a dense,
+// integer-indexed representation shared by the schedulability analyses and
+// the discrete-event simulator.
+//
+// Compilation unrolls every task graph over the hyperperiod: a graph with
+// period T in hyperperiod H contributes H/T instances, and every task of
+// every instance becomes one job node with an absolute release offset.
+// This job-level view is what the paper's Algorithm 1 needs — its
+// minStart/maxFinish comparisons are between absolute windows inside the
+// hyperperiod (Figure 3) — and it lets dropped jobs disappear from the
+// analysis individually. Compilation also assigns the fixed priorities
+// used by the per-processor schedulers.
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmap/internal/model"
+)
+
+// NodeID indexes a job node in a compiled System.
+type NodeID int
+
+// Edge is a directed dependency between job nodes of the same graph
+// instance, with the contention-free communication delay already resolved
+// against the mapping.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	Size int64
+	// Delay is the fabric transfer time: zero for same-processor
+	// communication, Fabric.TransferTime otherwise.
+	Delay model.Time
+}
+
+// Node is one job: a task of one graph instance inside the hyperperiod.
+type Node struct {
+	ID    NodeID
+	Task  *model.Task
+	Graph *model.TaskGraph
+	// GraphIdx is the index of the owning graph in the AppSet.
+	GraphIdx int
+	// Instance is the job index within the hyperperiod (0 .. H/T - 1).
+	Instance int
+	// Release is the absolute release offset of this instance
+	// (Instance * Period) within the hyperperiod.
+	Release model.Time
+	// AbsDeadline is Release + the graph's relative deadline.
+	AbsDeadline model.Time
+	Proc        model.ProcID
+	// NonPreemptive mirrors the hosting processor's scheduling mode.
+	NonPreemptive bool
+	// Priority is the fixed scheduling priority; lower value means higher
+	// priority. Priorities are unique across all job nodes.
+	Priority int
+	// BCET/WCET are the single-execution times scaled to the processor
+	// speed, excluding hardening overheads.
+	BCET model.Time
+	WCET model.Time
+	// DetectOverhead scaled to the processor.
+	DetectOverhead model.Time
+	// Period and Deadline of the owning graph (copied for locality).
+	Period   model.Time
+	Deadline model.Time
+
+	In  []Edge
+	Out []Edge
+}
+
+// NominalBCET returns the fault-free best-case execution time including
+// the detection overhead of re-executable tasks (k = 0 of Eq. 1).
+func (n *Node) NominalBCET() model.Time {
+	if n.Task.ReExecutable() {
+		return n.BCET + n.DetectOverhead
+	}
+	return n.BCET
+}
+
+// NominalWCET returns the fault-free worst-case execution time including
+// the detection overhead of re-executable tasks.
+func (n *Node) NominalWCET() model.Time {
+	if n.Task.ReExecutable() {
+		return n.WCET + n.DetectOverhead
+	}
+	return n.WCET
+}
+
+// HardenedWCET is Eq. (1) on processor-scaled times: (wcet + dt) * (k+1).
+func (n *Node) HardenedWCET() model.Time {
+	if !n.Task.ReExecutable() {
+		return n.NominalWCET()
+	}
+	return (n.WCET + n.DetectOverhead) * model.Time(n.Task.ReExec+1)
+}
+
+// PriorityPolicy assigns unique priorities to all job nodes.
+// Implementations must be deterministic.
+type PriorityPolicy interface {
+	// Assign returns a permutation of 0..len(nodes)-1 giving each node's
+	// priority (nodes[i] gets priority perm[i], lower = more urgent).
+	Assign(sys *System) []int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// System is the compiled platform.
+type System struct {
+	Arch    *model.Architecture
+	Apps    *model.AppSet
+	Mapping model.Mapping
+
+	Nodes []*Node
+	// GraphInstances[gi][k] lists the node IDs of instance k of graph gi
+	// in topological order.
+	GraphInstances [][][]NodeID
+	// GraphNodes[gi] lists all node IDs of graph gi (all instances,
+	// instance-major, topological within an instance).
+	GraphNodes [][]NodeID
+	// ProcNodes lists, per processor, the node IDs mapped to it in
+	// priority order.
+	ProcNodes map[model.ProcID][]NodeID
+	// Hyperperiod is the LCM of all graph periods.
+	Hyperperiod model.Time
+	// ancestors[i] is a bitset over nodes marking the transitive
+	// predecessors of node i within its instance. The analysis uses it to
+	// avoid charging interference from jobs that by construction finish
+	// before i starts.
+	ancestors [][]uint64
+	words     int
+
+	byTask map[model.TaskID][]NodeID
+}
+
+// IsAncestor reports whether node a is a (transitive) predecessor of node
+// b within the same graph instance.
+func (s *System) IsAncestor(a, b NodeID) bool {
+	return s.ancestors[b][int(a)/64]&(1<<(uint(a)%64)) != 0
+}
+
+// Compile builds a System. The mapping must cover every task. The policy
+// may be nil, selecting DefaultPolicy.
+func Compile(arch *model.Architecture, apps *model.AppSet, mapping model.Mapping, policy PriorityPolicy) (*System, error) {
+	if err := model.ValidateArchitecture(arch); err != nil {
+		return nil, err
+	}
+	if err := model.ValidateAppSet(apps); err != nil {
+		return nil, err
+	}
+	if err := model.ValidateMapping(arch, apps, mapping); err != nil {
+		return nil, err
+	}
+	hp, err := apps.Hyperperiod()
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Arch:        arch,
+		Apps:        apps,
+		Mapping:     mapping,
+		ProcNodes:   make(map[model.ProcID][]NodeID),
+		Hyperperiod: hp,
+		byTask:      make(map[model.TaskID][]NodeID),
+	}
+	for gi, g := range apps.Graphs {
+		order, err := model.TopoOrder(g)
+		if err != nil {
+			return nil, err
+		}
+		instances := int(hp / g.Period)
+		var giNodes []NodeID
+		var giInstances [][]NodeID
+		for k := 0; k < instances; k++ {
+			release := model.Time(k) * g.Period
+			local := make(map[model.TaskID]NodeID, len(order))
+			var ids []NodeID
+			for _, t := range order {
+				pid := mapping[t.ID]
+				proc := arch.Proc(pid)
+				n := &Node{
+					ID:             NodeID(len(sys.Nodes)),
+					Task:           t,
+					Graph:          g,
+					GraphIdx:       gi,
+					Instance:       k,
+					Release:        release,
+					AbsDeadline:    release + g.EffectiveDeadline(),
+					Proc:           pid,
+					NonPreemptive:  proc.NonPreemptive,
+					BCET:           proc.ScaleExecFloor(t.BCET),
+					WCET:           proc.ScaleExec(t.WCET),
+					DetectOverhead: proc.ScaleExec(t.DetectOverhead),
+					Period:         g.Period,
+					Deadline:       g.EffectiveDeadline(),
+				}
+				sys.Nodes = append(sys.Nodes, n)
+				sys.byTask[t.ID] = append(sys.byTask[t.ID], n.ID)
+				local[t.ID] = n.ID
+				ids = append(ids, n.ID)
+				giNodes = append(giNodes, n.ID)
+			}
+			for _, c := range g.Channels {
+				from, to := local[c.Src], local[c.Dst]
+				var delay model.Time
+				if sys.Nodes[from].Proc != sys.Nodes[to].Proc {
+					delay = arch.Fabric.TransferTimeBetween(
+						sys.Nodes[from].Proc, sys.Nodes[to].Proc, c.Size, len(arch.Procs))
+				}
+				e := Edge{From: from, To: to, Size: c.Size, Delay: delay}
+				sys.Nodes[from].Out = append(sys.Nodes[from].Out, e)
+				sys.Nodes[to].In = append(sys.Nodes[to].In, e)
+			}
+			giInstances = append(giInstances, ids)
+		}
+		sys.GraphInstances = append(sys.GraphInstances, giInstances)
+		sys.GraphNodes = append(sys.GraphNodes, giNodes)
+	}
+	// Transitive ancestor bitsets (within an instance; instances are
+	// independent).
+	sys.words = (len(sys.Nodes) + 63) / 64
+	backing := make([]uint64, sys.words*len(sys.Nodes))
+	sys.ancestors = make([][]uint64, len(sys.Nodes))
+	for i := range sys.Nodes {
+		sys.ancestors[i] = backing[i*sys.words : (i+1)*sys.words]
+	}
+	for gi := range sys.GraphInstances {
+		for _, ids := range sys.GraphInstances[gi] {
+			for _, nid := range ids { // topological order
+				anc := sys.ancestors[nid]
+				for _, e := range sys.Nodes[nid].In {
+					anc[int(e.From)/64] |= 1 << (uint(e.From) % 64)
+					for w, bits := range sys.ancestors[e.From] {
+						anc[w] |= bits
+					}
+				}
+			}
+		}
+	}
+	// Priorities.
+	if policy == nil {
+		policy = DefaultPolicy{}
+	}
+	prio := policy.Assign(sys)
+	if len(prio) != len(sys.Nodes) {
+		return nil, fmt.Errorf("platform: policy %q returned %d priorities for %d nodes", policy.Name(), len(prio), len(sys.Nodes))
+	}
+	seen := make([]bool, len(prio))
+	for i, p := range prio {
+		if p < 0 || p >= len(prio) || seen[p] {
+			return nil, fmt.Errorf("platform: policy %q produced an invalid priority permutation", policy.Name())
+		}
+		seen[p] = true
+		sys.Nodes[i].Priority = p
+	}
+	// Per-processor lists, highest priority first.
+	for _, n := range sys.Nodes {
+		sys.ProcNodes[n.Proc] = append(sys.ProcNodes[n.Proc], n.ID)
+	}
+	for pid := range sys.ProcNodes {
+		ids := sys.ProcNodes[pid]
+		sort.Slice(ids, func(i, j int) bool {
+			return sys.Nodes[ids[i]].Priority < sys.Nodes[ids[j]].Priority
+		})
+	}
+	return sys, nil
+}
+
+// Node returns the first-instance job node for a task ID, or nil.
+func (s *System) Node(id model.TaskID) *Node {
+	ids := s.byTask[id]
+	if len(ids) == 0 {
+		return nil
+	}
+	return s.Nodes[ids[0]]
+}
+
+// NodesOf returns all job nodes of a task (one per instance).
+func (s *System) NodesOf(id model.TaskID) []*Node {
+	ids := s.byTask[id]
+	out := make([]*Node, len(ids))
+	for i, nid := range ids {
+		out[i] = s.Nodes[nid]
+	}
+	return out
+}
+
+// SinkNodes returns the sink job nodes of graph gi (all instances).
+func (s *System) SinkNodes(gi int) []*Node {
+	var out []*Node
+	for _, id := range s.GraphNodes[gi] {
+		if len(s.Nodes[id].Out) == 0 {
+			out = append(out, s.Nodes[id])
+		}
+	}
+	return out
+}
+
+// GraphIndex returns the index of the named graph, or -1.
+func (s *System) GraphIndex(name string) int {
+	for i, g := range s.Apps.Graphs {
+		if g.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// nodeKey is the deterministic sort key shared by the priority policies:
+// two policy-specific leading criteria, then topological depth, task ID
+// and instance.
+type nodeKey struct {
+	k1, k2   int64
+	depth    int
+	id       model.TaskID
+	instance int
+}
+
+func assignByKeys(sys *System, keys []nodeKey) []int {
+	idx := make([]int, len(sys.Nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		if ka.k1 != kb.k1 {
+			return ka.k1 < kb.k1
+		}
+		if ka.k2 != kb.k2 {
+			return ka.k2 < kb.k2
+		}
+		if ka.depth != kb.depth {
+			return ka.depth < kb.depth
+		}
+		if ka.id != kb.id {
+			return ka.id < kb.id
+		}
+		return ka.instance < kb.instance
+	})
+	prio := make([]int, len(sys.Nodes))
+	for rank, node := range idx {
+		prio[node] = rank
+	}
+	return prio
+}
+
+// DefaultPolicy is deadline(rate)-monotonic with criticality tie-break:
+// shorter periods outrank longer ones; at equal period non-droppable
+// graphs outrank droppable ones, then upstream tasks outrank downstream
+// ones, then task ID, then instance. Rate-first ordering is the standard
+// choice in mixed-criticality systems — low-criticality tasks CAN delay
+// high-criticality ones, which is exactly why run-time task dropping buys
+// schedulability (Figure 1 of the paper).
+type DefaultPolicy struct{}
+
+// Name implements PriorityPolicy.
+func (DefaultPolicy) Name() string { return "rm-crit-topo" }
+
+// Assign implements PriorityPolicy.
+func (DefaultPolicy) Assign(sys *System) []int {
+	keys := make([]nodeKey, len(sys.Nodes))
+	for gi, g := range sys.Apps.Graphs {
+		depths, _ := model.Depths(g) // validated acyclic in Compile
+		drop := 0
+		if g.Droppable() {
+			drop = 1
+		}
+		for _, nid := range sys.GraphNodes[gi] {
+			n := sys.Nodes[nid]
+			keys[nid] = nodeKey{
+				k1: int64(g.Period), k2: int64(drop),
+				depth: depths[n.Task.ID], id: n.Task.ID, instance: n.Instance,
+			}
+		}
+	}
+	return assignByKeys(sys, keys)
+}
+
+// CriticalityPolicy orders all non-droppable tasks above all droppable
+// ones, then by period. Under this policy low-criticality tasks never
+// interfere with critical ones on the same processor, so task dropping
+// cannot improve critical WCRTs — provided as an ablation of the default.
+type CriticalityPolicy struct{}
+
+// Name implements PriorityPolicy.
+func (CriticalityPolicy) Name() string { return "crit-rm-topo" }
+
+// Assign implements PriorityPolicy.
+func (CriticalityPolicy) Assign(sys *System) []int {
+	keys := make([]nodeKey, len(sys.Nodes))
+	for gi, g := range sys.Apps.Graphs {
+		depths, _ := model.Depths(g)
+		drop := 0
+		if g.Droppable() {
+			drop = 1
+		}
+		for _, nid := range sys.GraphNodes[gi] {
+			n := sys.Nodes[nid]
+			keys[nid] = nodeKey{
+				k1: int64(drop), k2: int64(g.Period),
+				depth: depths[n.Task.ID], id: n.Task.ID, instance: n.Instance,
+			}
+		}
+	}
+	return assignByKeys(sys, keys)
+}
+
+// DeadlineMonotonicPolicy orders by relative deadline instead of period
+// (with the same criticality/depth/ID tie-breaks). It coincides with
+// DefaultPolicy when every deadline is implicit.
+type DeadlineMonotonicPolicy struct{}
+
+// Name implements PriorityPolicy.
+func (DeadlineMonotonicPolicy) Name() string { return "dm-crit-topo" }
+
+// Assign implements PriorityPolicy.
+func (DeadlineMonotonicPolicy) Assign(sys *System) []int {
+	keys := make([]nodeKey, len(sys.Nodes))
+	for gi, g := range sys.Apps.Graphs {
+		depths, _ := model.Depths(g)
+		drop := 0
+		if g.Droppable() {
+			drop = 1
+		}
+		for _, nid := range sys.GraphNodes[gi] {
+			n := sys.Nodes[nid]
+			keys[nid] = nodeKey{
+				k1: int64(g.EffectiveDeadline()), k2: int64(drop),
+				depth: depths[n.Task.ID], id: n.Task.ID, instance: n.Instance,
+			}
+		}
+	}
+	return assignByKeys(sys, keys)
+}

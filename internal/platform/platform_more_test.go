@@ -1,0 +1,143 @@
+package platform
+
+import (
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+func TestNonPreemptiveFlagPropagates(t *testing.T) {
+	a := arch2()
+	a.Procs[1].NonPreemptive = true
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 1, "lo/x": 1}
+	sys, err := Compile(a, apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Node("g/a").NonPreemptive {
+		t.Error("p0 node wrongly non-preemptive")
+	}
+	if !sys.Node("g/b").NonPreemptive || !sys.Node("lo/x").NonPreemptive {
+		t.Error("p1 nodes should be non-preemptive")
+	}
+}
+
+func TestThreeRateUnrolling(t *testing.T) {
+	a := arch2()
+	g1 := model.NewTaskGraph("g1", 20).SetCritical(1e-9)
+	g1.AddTask("a", 1, 1, 0, 0)
+	g2 := model.NewTaskGraph("g2", 30).SetCritical(1e-9)
+	g2.AddTask("b", 1, 1, 0, 0)
+	g3 := model.NewTaskGraph("g3", 60).SetService(1)
+	g3.AddTask("c", 1, 1, 0, 0)
+	sys, err := Compile(a, model.NewAppSet(g1, g2, g3), model.Mapping{"g1/a": 0, "g2/b": 0, "g3/c": 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Hyperperiod != 60 {
+		t.Fatalf("hyperperiod = %v", sys.Hyperperiod)
+	}
+	// 60/20 + 60/30 + 60/60 = 3 + 2 + 1 = 6 jobs.
+	if len(sys.Nodes) != 6 {
+		t.Fatalf("jobs = %d, want 6", len(sys.Nodes))
+	}
+	jobs := sys.NodesOf("g1/a")
+	if len(jobs) != 3 {
+		t.Fatalf("g1/a jobs = %d", len(jobs))
+	}
+	for k, j := range jobs {
+		if j.Release != model.Time(k*20) {
+			t.Errorf("job %d release = %v", k, j.Release)
+		}
+		if j.AbsDeadline != model.Time(k*20+20) {
+			t.Errorf("job %d deadline = %v", k, j.AbsDeadline)
+		}
+		if j.Instance != k {
+			t.Errorf("job %d instance = %d", k, j.Instance)
+		}
+	}
+}
+
+func TestAncestorsAcrossInstancesAreIndependent(t *testing.T) {
+	a := arch2()
+	g := model.NewTaskGraph("g", 50).SetCritical(1e-9)
+	g.AddTask("x", 1, 1, 0, 0)
+	g.AddTask("y", 1, 1, 0, 0)
+	g.AddChannel("x", "y", 0)
+	lo := model.NewTaskGraph("lo", 100).SetService(1)
+	lo.AddTask("z", 1, 1, 0, 0)
+	sys, err := Compile(a, model.NewAppSet(g, lo), model.Mapping{"g/x": 0, "g/y": 0, "lo/z": 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := sys.NodesOf("g/x")
+	ys := sys.NodesOf("g/y")
+	if !sys.IsAncestor(xs[0].ID, ys[0].ID) || !sys.IsAncestor(xs[1].ID, ys[1].ID) {
+		t.Error("within-instance ancestry missing")
+	}
+	if sys.IsAncestor(xs[0].ID, ys[1].ID) || sys.IsAncestor(xs[1].ID, ys[0].ID) {
+		t.Error("cross-instance ancestry must not exist")
+	}
+}
+
+type badPolicy struct{ perm []int }
+
+func (b badPolicy) Assign(sys *System) []int { return b.perm }
+func (b badPolicy) Name() string             { return "bad" }
+
+func TestCompileRejectsBadPolicies(t *testing.T) {
+	a := arch2()
+	apps := chainApp() // 4 job nodes
+	m := model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 0}
+	// Wrong length.
+	if _, err := Compile(a, apps, m, badPolicy{perm: []int{0}}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	// Duplicate priorities.
+	if _, err := Compile(a, apps, m, badPolicy{perm: []int{0, 0, 1, 2}}); err == nil {
+		t.Error("duplicate priorities accepted")
+	}
+	// Out of range.
+	if _, err := Compile(a, apps, m, badPolicy{perm: []int{0, 1, 2, 9}}); err == nil {
+		t.Error("out-of-range priority accepted")
+	}
+}
+
+func TestNodesOfUnknownTask(t *testing.T) {
+	a := arch2()
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 0}
+	sys, err := Compile(a, apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Node("nope") != nil {
+		t.Error("unknown task resolved")
+	}
+	if len(sys.NodesOf("nope")) != 0 {
+		t.Error("unknown task has jobs")
+	}
+}
+
+func TestDeadlineMonotonicPolicy(t *testing.T) {
+	a := arch2()
+	// Same periods, different deadlines: DM must rank the tighter
+	// deadline higher even though RM ties.
+	g1 := model.NewTaskGraph("g1", 100*model.Millisecond).SetCritical(1e-9)
+	g1.Deadline = 80 * model.Millisecond
+	g1.AddTask("a", 1, 1, 0, 0)
+	g2 := model.NewTaskGraph("g2", 100*model.Millisecond).SetCritical(1e-9)
+	g2.Deadline = 40 * model.Millisecond
+	g2.AddTask("b", 1, 1, 0, 0)
+	sys, err := Compile(a, model.NewAppSet(g1, g2), model.Mapping{"g1/a": 0, "g2/b": 0}, DeadlineMonotonicPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sys.Node("g2/b").Priority < sys.Node("g1/a").Priority) {
+		t.Error("deadline-monotonic ordering violated")
+	}
+	if (DeadlineMonotonicPolicy{}).Name() == "" {
+		t.Error("empty name")
+	}
+}

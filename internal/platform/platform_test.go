@@ -1,0 +1,235 @@
+package platform
+
+import (
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+func arch2() *model.Architecture {
+	return &model.Architecture{
+		Name: "dual",
+		Procs: []model.Processor{
+			{ID: 0, Name: "p0", StaticPower: 0.1, DynPower: 1, FaultRate: 1e-9},
+			{ID: 1, Name: "p1", StaticPower: 0.1, DynPower: 1, FaultRate: 1e-9},
+		},
+		Fabric: model.Fabric{Bandwidth: 1, BaseLatency: 10},
+	}
+}
+
+func chainApp() *model.AppSet {
+	g := model.NewTaskGraph("g", 100*model.Millisecond).SetCritical(1e-9)
+	g.AddTask("a", 1*model.Millisecond, 2*model.Millisecond, 0, 0)
+	g.AddTask("b", 2*model.Millisecond, 3*model.Millisecond, 0, 0)
+	g.AddChannel("a", "b", 100)
+	lo := model.NewTaskGraph("lo", 50*model.Millisecond).SetService(2)
+	lo.AddTask("x", 1*model.Millisecond, 1*model.Millisecond, 0, 0)
+	return model.NewAppSet(g, lo)
+}
+
+func TestCompile(t *testing.T) {
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 1, "lo/x": 0}
+	sys, err := Compile(arch2(), apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Nodes) != 4 { // g: 2 jobs; lo: 2 instances x 1 job
+		t.Fatalf("got %d nodes", len(sys.Nodes))
+	}
+	if sys.Hyperperiod != 100*model.Millisecond {
+		t.Errorf("hyperperiod = %v", sys.Hyperperiod)
+	}
+	a := sys.Node("g/a")
+	b := sys.Node("g/b")
+	if a == nil || b == nil {
+		t.Fatal("node lookup failed")
+	}
+	// Cross-processor edge gets fabric delay: 10 + ceil(100/1) = 110.
+	if len(a.Out) != 1 || a.Out[0].Delay != 110 {
+		t.Errorf("edge delay = %v, want 110", a.Out)
+	}
+	if a.Out[0].To != b.ID {
+		t.Error("edge target wrong")
+	}
+	// Same-proc mapping has zero delay.
+	m2 := model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 1}
+	sys2, err := Compile(arch2(), apps, m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sys2.Node("g/a").Out[0].Delay; d != 0 {
+		t.Errorf("same-proc delay = %v, want 0", d)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	apps := chainApp()
+	if _, err := Compile(arch2(), apps, model.Mapping{"g/a": 0}, nil); err == nil {
+		t.Error("partial mapping accepted")
+	}
+	bad := arch2()
+	bad.Procs = nil
+	if _, err := Compile(bad, apps, model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 0}, nil); err == nil {
+		t.Error("empty architecture accepted")
+	}
+}
+
+func TestDefaultPolicyIsRateMonotonic(t *testing.T) {
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 0}
+	sys, err := Compile(arch2(), apps, m, DefaultPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the default (rate-first) policy the 50ms droppable app
+	// outranks the 100ms critical one — low-criticality tasks CAN delay
+	// critical ones, which is what makes task dropping valuable.
+	if !(sys.Node("lo/x").Priority < sys.Node("g/a").Priority) {
+		t.Error("rate-monotonic ordering violated")
+	}
+	// Within g, upstream a outranks downstream b.
+	if !(sys.Node("g/a").Priority < sys.Node("g/b").Priority) {
+		t.Error("topological ordering violated")
+	}
+	// Priorities are a permutation.
+	seen := map[int]bool{}
+	for _, n := range sys.Nodes {
+		if seen[n.Priority] {
+			t.Fatal("duplicate priority")
+		}
+		seen[n.Priority] = true
+	}
+}
+
+func TestCriticalityPolicy(t *testing.T) {
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 0}
+	sys, err := Compile(arch2(), apps, m, CriticalityPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Criticality-first: the non-droppable graph outranks the droppable
+	// one despite its longer period.
+	if !(sys.Node("g/a").Priority < sys.Node("lo/x").Priority) {
+		t.Error("criticality-monotonic ordering violated")
+	}
+}
+
+func TestUnrolledInstances(t *testing.T) {
+	apps := chainApp() // g period 100ms, lo period 50ms -> H = 100ms
+	m := model.Mapping{"g/a": 0, "g/b": 1, "lo/x": 0}
+	sys, err := Compile(arch2(), apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g has 1 instance (2 jobs), lo has 2 instances (1 job each).
+	if len(sys.Nodes) != 4 {
+		t.Fatalf("got %d job nodes, want 4", len(sys.Nodes))
+	}
+	gi := sys.GraphIndex("lo")
+	if len(sys.GraphInstances[gi]) != 2 {
+		t.Fatalf("lo instances = %d, want 2", len(sys.GraphInstances[gi]))
+	}
+	jobs := sys.NodesOf("lo/x")
+	if len(jobs) != 2 {
+		t.Fatalf("lo/x jobs = %d", len(jobs))
+	}
+	if jobs[0].Release != 0 || jobs[1].Release != 50*model.Millisecond {
+		t.Errorf("releases = %v, %v", jobs[0].Release, jobs[1].Release)
+	}
+	if jobs[1].AbsDeadline != 100*model.Millisecond {
+		t.Errorf("abs deadline = %v", jobs[1].AbsDeadline)
+	}
+	// Instance 0 outranks instance 1 of the same task.
+	if !(jobs[0].Priority < jobs[1].Priority) {
+		t.Error("instance priority ordering violated")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 0}
+	sys, err := Compile(arch2(), apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sys.Node("g/a"), sys.Node("g/b")
+	x := sys.Node("lo/x")
+	if !sys.IsAncestor(a.ID, b.ID) {
+		t.Error("a should be an ancestor of b")
+	}
+	if sys.IsAncestor(b.ID, a.ID) {
+		t.Error("b must not be an ancestor of a")
+	}
+	if sys.IsAncestor(x.ID, b.ID) || sys.IsAncestor(a.ID, x.ID) {
+		t.Error("cross-graph ancestry must be empty")
+	}
+}
+
+func TestProcNodesSortedByPriority(t *testing.T) {
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 0, "lo/x": 0}
+	sys, err := Compile(arch2(), apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sys.ProcNodes[0]
+	for i := 1; i < len(ids); i++ {
+		if sys.Nodes[ids[i-1]].Priority >= sys.Nodes[ids[i]].Priority {
+			t.Fatal("ProcNodes not sorted by priority")
+		}
+	}
+	if len(sys.ProcNodes[1]) != 0 {
+		t.Error("unexpected nodes on p1")
+	}
+}
+
+func TestNodeEqOneValues(t *testing.T) {
+	g := model.NewTaskGraph("h", model.Second).SetCritical(1e-9)
+	v := g.AddTask("v", 10, 100, 0, 5)
+	v.ReExec = 2
+	apps := model.NewAppSet(g)
+	sys, err := Compile(arch2(), apps, model.Mapping{"h/v": 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sys.Node("h/v")
+	if n.NominalWCET() != 105 || n.NominalBCET() != 15 {
+		t.Errorf("nominal = [%d,%d]", n.NominalBCET(), n.NominalWCET())
+	}
+	if n.HardenedWCET() != 315 {
+		t.Errorf("hardened = %d, want 315", n.HardenedWCET())
+	}
+}
+
+func TestSpeedScalingInCompile(t *testing.T) {
+	a := arch2()
+	a.Procs[1].Speed = 2.0
+	g := model.NewTaskGraph("s", model.Second).SetCritical(1e-9)
+	g.AddTask("t", 100, 101, 0, 0)
+	sys, err := Compile(a, model.NewAppSet(g), model.Mapping{"s/t": 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sys.Node("s/t")
+	if n.BCET != 50 || n.WCET != 51 {
+		t.Errorf("scaled exec = [%d,%d], want [50,51]", n.BCET, n.WCET)
+	}
+}
+
+func TestSinkNodesAndGraphIndex(t *testing.T) {
+	apps := chainApp()
+	m := model.Mapping{"g/a": 0, "g/b": 1, "lo/x": 0}
+	sys, err := Compile(arch2(), apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := sys.SinkNodes(0)
+	if len(sinks) != 1 || sinks[0].Task.Name != "b" {
+		t.Errorf("SinkNodes = %v", sinks)
+	}
+	if sys.GraphIndex("lo") != 1 || sys.GraphIndex("none") != -1 {
+		t.Error("GraphIndex broken")
+	}
+}

@@ -1,0 +1,69 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+	"mcmap/internal/sim"
+)
+
+// TestExpectedUtilizationMatchesSimulation cross-validates the power
+// model against the simulator: with no faults, the expected utilization
+// of every processor equals the simulated busy fraction over one
+// hyperperiod (up to the fault-probability-weighted re-execution terms,
+// which are negligible at realistic rates).
+func TestExpectedUtilizationMatchesSimulation(t *testing.T) {
+	arch := &model.Architecture{
+		Name: "tri",
+		Procs: []model.Processor{
+			{ID: 0, Name: "p0", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-12},
+			{ID: 1, Name: "p1", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-12},
+			{ID: 2, Name: "p2", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-12},
+		},
+		Fabric: model.Fabric{Bandwidth: 100, BaseLatency: 10},
+	}
+	ms := model.Millisecond
+	g := model.NewTaskGraph("g", 100*ms).SetCritical(1e-9)
+	g.AddTask("a", 10*ms, 10*ms, 1*ms, 1*ms)
+	g.AddTask("b", 20*ms, 20*ms, 1*ms, 1*ms)
+	g.AddChannel("a", "b", 64)
+	soft := model.NewTaskGraph("soft", 50*ms).SetService(1)
+	soft.AddTask("s", 5*ms, 5*ms, 0, 0)
+	man, err := hardening.Apply(model.NewAppSet(g, soft), hardening.Plan{
+		"g/a": {Technique: hardening.ReExecution, K: 1},
+		"g/b": {Technique: hardening.ActiveReplication, Replicas: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := model.Mapping{
+		"g/a":                         0,
+		hardening.ReplicaID("g/b", 0): 0,
+		hardening.ReplicaID("g/b", 1): 1,
+		hardening.ReplicaID("g/b", 2): 2,
+		hardening.VoterID("g/b"):      1,
+		"soft/s":                      2,
+	}
+	pb, err := Expected(arch, man, mapping, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := platform.Compile(arch, man.Apps, mapping, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sys, sim.Config{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range []model.ProcID{0, 1, 2} {
+		simUtil := float64(res.Trace.Busy(pid)) / float64(sys.Hyperperiod)
+		expUtil := pb.Util[pid]
+		if math.Abs(simUtil-expUtil) > 0.001 {
+			t.Errorf("proc %d: expected util %.4f vs simulated %.4f", pid, expUtil, simUtil)
+		}
+	}
+}

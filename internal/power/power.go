@@ -1,0 +1,153 @@
+// Package power implements the paper's optimization objective: expected
+// power consumption sum_p (stat_p + dyn_p * u_p) over the allocated
+// processors, where u_p is the expected utilization of processor p
+// (Section 2.3).
+//
+// The expectation accounts for the hardening dynamics:
+//
+//   - re-executable tasks contribute (wcet+dt) * sum_{i=0..k} p_f^i — the
+//     expected number of attempts times the per-attempt cost;
+//   - active replicas contribute their full cost on every period;
+//   - passive replicas contribute cost weighted by their invocation
+//     probability (any active sibling failing), which is exactly the
+//     average-power advantage of passive replication the paper describes;
+//   - voters contribute their voting overhead every period.
+//
+// Dropped-state residency is fault-driven and rare, so its power effect is
+// neglected (documented substitution; the ordering between designs is
+// unaffected).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/reliability"
+)
+
+// Breakdown is the per-processor power decomposition.
+type Breakdown struct {
+	// Util is the expected utilization of each allocated processor.
+	Util map[model.ProcID]float64
+	// PerProc is stat_p + dyn_p * u_p for each allocated processor.
+	PerProc map[model.ProcID]float64
+	// Total is the objective value in watts.
+	Total float64
+}
+
+// Expected computes the expected power of a hardened, mapped design.
+// allocated is the set of powered-on processors; nil means "processors
+// hosting at least one task". Hosting a task on an unallocated processor
+// is an error (the DSE layer repairs such candidates before evaluation).
+func Expected(arch *model.Architecture, man *hardening.Manifest, mapping model.Mapping, allocated map[model.ProcID]bool) (*Breakdown, error) {
+	if allocated == nil {
+		allocated = mapping.UsedProcs()
+	}
+	util := make(map[model.ProcID]float64)
+	for _, g := range man.Apps.Graphs {
+		period := float64(g.Period)
+		for _, t := range g.Tasks {
+			pid, ok := mapping[t.ID]
+			if !ok {
+				return nil, fmt.Errorf("power: task %q is unmapped", t.ID)
+			}
+			proc := arch.Proc(pid)
+			if proc == nil {
+				return nil, fmt.Errorf("power: task %q mapped to unknown processor %d", t.ID, pid)
+			}
+			if !allocated[pid] {
+				return nil, fmt.Errorf("power: task %q mapped to unallocated processor %d", t.ID, pid)
+			}
+			c, err := expectedExec(arch, man, mapping, proc, t)
+			if err != nil {
+				return nil, err
+			}
+			util[pid] += c / period
+		}
+	}
+	b := &Breakdown{Util: util, PerProc: make(map[model.ProcID]float64)}
+	// Iterate in architecture order: map-order float accumulation would
+	// make totals (and thus GA decisions) run-to-run nondeterministic.
+	seen := 0
+	for i := range arch.Procs {
+		pid := arch.Procs[i].ID
+		if !allocated[pid] {
+			continue
+		}
+		seen++
+		proc := &arch.Procs[i]
+		u := math.Min(util[pid], 1.0)
+		p := proc.StaticPower + proc.DynPower*u
+		b.PerProc[pid] = p
+		b.Total += p
+	}
+	if seen != len(allocated) {
+		for pid, on := range allocated {
+			if on && arch.Proc(pid) == nil {
+				return nil, fmt.Errorf("power: allocated processor %d not in architecture", pid)
+			}
+		}
+	}
+	return b, nil
+}
+
+// expectedExec returns the expected execution time that one transformed
+// task spends on its processor per period.
+func expectedExec(arch *model.Architecture, man *hardening.Manifest, mapping model.Mapping, proc *model.Processor, t *model.Task) (float64, error) {
+	switch {
+	case t.Kind == model.KindVoter:
+		return float64(proc.ScaleExec(t.WCET)), nil
+	case t.Passive:
+		p, err := invocationProb(arch, man, mapping, t)
+		if err != nil {
+			return 0, err
+		}
+		return p * float64(proc.ScaleExec(t.WCET)), nil
+	case t.ReExecutable():
+		attempt := float64(proc.ScaleExec(t.WCET + t.DetectOverhead))
+		pf := reliability.ExecFailureProb(proc.FaultRate, proc.ScaleExec(t.WCET+t.DetectOverhead))
+		// Expected attempts: sum_{i=0..k} p_f^i (attempt i happens when
+		// the previous i attempts all failed).
+		exp := 0.0
+		acc := 1.0
+		for i := 0; i <= t.ReExec; i++ {
+			exp += acc
+			acc *= pf
+		}
+		return attempt * exp, nil
+	default:
+		return float64(proc.ScaleExec(t.WCET)), nil
+	}
+}
+
+// invocationProb is the probability that a passive replica is invoked: at
+// least one active sibling fails during its execution.
+func invocationProb(arch *model.Architecture, man *hardening.Manifest, mapping model.Mapping, t *model.Task) (float64, error) {
+	orig := man.OriginalOf(t.ID)
+	allGood := 1.0
+	for _, sid := range man.InstancesOf(orig) {
+		if sid == t.ID {
+			continue
+		}
+		g := man.Apps.GraphOf(sid)
+		if g == nil {
+			return 0, fmt.Errorf("power: instance %q of %q not found", sid, orig)
+		}
+		sib := g.Task(sid)
+		if sib.Passive {
+			continue
+		}
+		pid, ok := mapping[sid]
+		if !ok {
+			return 0, fmt.Errorf("power: replica %q is unmapped", sid)
+		}
+		proc := arch.Proc(pid)
+		if proc == nil {
+			return 0, fmt.Errorf("power: replica %q mapped to unknown processor %d", sid, pid)
+		}
+		allGood *= 1 - reliability.ExecFailureProb(proc.FaultRate, proc.ScaleExec(sib.WCET))
+	}
+	return 1 - allGood, nil
+}

@@ -1,0 +1,180 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/reliability"
+)
+
+func arch3() *model.Architecture {
+	return &model.Architecture{
+		Name: "a",
+		Procs: []model.Processor{
+			{ID: 0, Name: "p0", StaticPower: 0.2, DynPower: 2.0, FaultRate: 1e-6},
+			{ID: 1, Name: "p1", StaticPower: 0.3, DynPower: 1.0, FaultRate: 1e-6},
+			{ID: 2, Name: "p2", StaticPower: 0.1, DynPower: 3.0, FaultRate: 1e-6},
+		},
+	}
+}
+
+func apply(t *testing.T, plan hardening.Plan) *hardening.Manifest {
+	t.Helper()
+	g := model.NewTaskGraph("g", 100*model.Millisecond).SetCritical(1e-9)
+	g.AddTask("v", 1*model.Millisecond, 10*model.Millisecond, 500, 200)
+	g.AddTask("w", 1*model.Millisecond, 20*model.Millisecond, 0, 0)
+	g.AddChannel("v", "w", 8)
+	man, err := hardening.Apply(model.NewAppSet(g), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
+func TestExpectedUnhardened(t *testing.T) {
+	man := apply(t, hardening.Plan{})
+	m := model.Mapping{"g/v": 0, "g/w": 0}
+	b, err := Expected(arch3(), man, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u = (10+20)/100 = 0.3; power = 0.2 + 2.0*0.3 = 0.8.
+	if math.Abs(b.Util[0]-0.3) > 1e-12 {
+		t.Errorf("util = %v", b.Util[0])
+	}
+	if math.Abs(b.Total-0.8) > 1e-12 {
+		t.Errorf("total = %v", b.Total)
+	}
+}
+
+func TestAllocatedIdleProcessorsBurnStaticPower(t *testing.T) {
+	man := apply(t, hardening.Plan{})
+	m := model.Mapping{"g/v": 0, "g/w": 0}
+	alloc := map[model.ProcID]bool{0: true, 1: true}
+	b, err := Expected(arch3(), man, m, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 allocated but idle: contributes its 0.3 static power.
+	if math.Abs(b.Total-(0.8+0.3)) > 1e-12 {
+		t.Errorf("total = %v, want 1.1", b.Total)
+	}
+}
+
+func TestMappingToUnallocatedProcessorIsError(t *testing.T) {
+	man := apply(t, hardening.Plan{})
+	m := model.Mapping{"g/v": 0, "g/w": 1}
+	alloc := map[model.ProcID]bool{0: true}
+	if _, err := Expected(arch3(), man, m, alloc); err == nil {
+		t.Error("unallocated hosting accepted")
+	}
+}
+
+func TestReExecutionRaisesExpectedPower(t *testing.T) {
+	plain := apply(t, hardening.Plan{})
+	hard := apply(t, hardening.Plan{"g/v": {Technique: hardening.ReExecution, K: 2}})
+	m := model.Mapping{"g/v": 0, "g/w": 0}
+	pb, err := Expected(arch3(), plain, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := Expected(arch3(), hard, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hardened: per-attempt cost includes dt (10.2ms vs 10ms) and the
+	// expected re-executions add a small fault-weighted term.
+	if !(hb.Total > pb.Total) {
+		t.Errorf("re-execution should cost power: %v <= %v", hb.Total, pb.Total)
+	}
+	// But it must stay well below the full (k+1)x inflation for low
+	// fault rates.
+	pf := reliability.ExecFailureProb(1e-6, 10200)
+	attempts := 1 + pf + pf*pf
+	wantUtil := (10200*attempts + 20000) / 100000
+	if math.Abs(hb.Util[0]-wantUtil) > 1e-9 {
+		t.Errorf("util = %v, want %v", hb.Util[0], wantUtil)
+	}
+}
+
+func TestActiveVsPassiveReplicationPower(t *testing.T) {
+	active := apply(t, hardening.Plan{"g/v": {Technique: hardening.ActiveReplication, Replicas: 3}})
+	passive := apply(t, hardening.Plan{"g/v": {Technique: hardening.PassiveReplication, Replicas: 3}})
+	am := model.Mapping{
+		hardening.ReplicaID("g/v", 0): 0,
+		hardening.ReplicaID("g/v", 1): 1,
+		hardening.ReplicaID("g/v", 2): 2,
+		hardening.VoterID("g/v"):      0,
+		hardening.DispatchID("g/v"):   0,
+		"g/w":                         0,
+	}
+	ab, err := Expected(arch3(), active, am, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Expected(arch3(), passive, am, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passive replication pays the third replica only on invocation —
+	// the exact advantage the paper attributes to it.
+	if !(pb.Total < ab.Total) {
+		t.Errorf("passive %v should be cheaper than active %v", pb.Total, ab.Total)
+	}
+	// The passive replica's expected cost is invocationProb * wcet.
+	pf := reliability.ExecFailureProb(1e-6, 10*model.Millisecond)
+	pInvoke := 1 - (1-pf)*(1-pf)
+	wantU2 := pInvoke * 10000 / 100000
+	if math.Abs(pb.Util[2]-wantU2) > 1e-9 {
+		t.Errorf("passive util = %v, want %v", pb.Util[2], wantU2)
+	}
+}
+
+func TestVoterCostsItsOverhead(t *testing.T) {
+	man := apply(t, hardening.Plan{"g/v": {Technique: hardening.ActiveReplication, Replicas: 2}})
+	m := model.Mapping{
+		hardening.ReplicaID("g/v", 0): 0,
+		hardening.ReplicaID("g/v", 1): 1,
+		hardening.VoterID("g/v"):      2,
+		"g/w":                         2,
+	}
+	b, err := Expected(arch3(), man, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p2 hosts voter (ve = 500us) + w (20ms): u = 20.5/100.
+	if math.Abs(b.Util[2]-0.205) > 1e-12 {
+		t.Errorf("voter util = %v", b.Util[2])
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	g := model.NewTaskGraph("g", 10*model.Millisecond).SetCritical(1e-9)
+	g.AddTask("big", 9*model.Millisecond, 9*model.Millisecond, 0, 0)
+	g.AddTask("big2", 9*model.Millisecond, 9*model.Millisecond, 0, 0)
+	man, err := hardening.Apply(model.NewAppSet(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Mapping{"g/big": 0, "g/big2": 0}
+	b, err := Expected(arch3(), man, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overloaded utilization is clamped to 1 for the power figure.
+	if math.Abs(b.PerProc[0]-(0.2+2.0)) > 1e-12 {
+		t.Errorf("clamped power = %v", b.PerProc[0])
+	}
+}
+
+func TestExpectedErrors(t *testing.T) {
+	man := apply(t, hardening.Plan{})
+	if _, err := Expected(arch3(), man, model.Mapping{"g/v": 0}, nil); err == nil {
+		t.Error("partial mapping accepted")
+	}
+	if _, err := Expected(arch3(), man, model.Mapping{"g/v": 9, "g/w": 9}, nil); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}

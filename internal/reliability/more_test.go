@@ -1,0 +1,81 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+// TestPassiveVsActiveSameReliability: with the same replica count and
+// placement, passive and active replication give identical unsafe
+// probabilities under our majority model (the tie-breaker participates
+// in the vote).
+func TestPassiveVsActiveSameReliability(t *testing.T) {
+	build := func(tech hardening.Technique) float64 {
+		a, man := testSetup(t, hardening.Plan{"g/v": {Technique: tech, Replicas: 3}})
+		m := model.Mapping{}
+		for i := 0; i < 3; i++ {
+			m[hardening.ReplicaID("g/v", i)] = model.ProcID(i)
+		}
+		m[hardening.VoterID("g/v")] = 0
+		if tech == hardening.PassiveReplication {
+			m[hardening.DispatchID("g/v")] = 0
+		}
+		as, err := Assess(a, man, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return as.TaskUnsafe["g/v"]
+	}
+	active := build(hardening.ActiveReplication)
+	passive := build(hardening.PassiveReplication)
+	if math.Abs(active-passive) > 1e-15 {
+		t.Errorf("active %v != passive %v", active, passive)
+	}
+}
+
+// TestHigherKMeansLowerRisk: the re-execution failure probability is
+// strictly decreasing in k.
+func TestHigherKMeansLowerRisk(t *testing.T) {
+	prev := 1.0
+	for k := 1; k <= 3; k++ {
+		a, man := testSetup(t, hardening.Plan{"g/v": {Technique: hardening.ReExecution, K: k}})
+		as, err := Assess(a, man, model.Mapping{"g/v": 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := as.TaskUnsafe["g/v"]
+		if p >= prev {
+			t.Errorf("k=%d: %v not below %v", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestGraphRateAggregation: the per-period probability aggregates over
+// tasks and divides by the period.
+func TestGraphRateAggregation(t *testing.T) {
+	a := &model.Architecture{Procs: []model.Processor{{ID: 0, Name: "p", FaultRate: 1e-6}}}
+	g := model.NewTaskGraph("g", 100*model.Millisecond).SetCritical(1)
+	g.AddTask("x", 1, 10*model.Millisecond, 0, 0)
+	g.AddTask("y", 1, 10*model.Millisecond, 0, 0)
+	man, err := hardening.Apply(model.NewAppSet(g), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Assess(a, man, model.Mapping{"g/x": 0, "g/y": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ExecFailureProb(1e-6, 10*model.Millisecond)
+	wantPerPeriod := 1 - (1-p)*(1-p)
+	if math.Abs(as.GraphUnsafePerPeriod["g"]-wantPerPeriod) > 1e-12 {
+		t.Errorf("per-period %v, want %v", as.GraphUnsafePerPeriod["g"], wantPerPeriod)
+	}
+	wantRate := wantPerPeriod / float64(100*model.Millisecond)
+	if math.Abs(as.GraphFailureRate["g"]-wantRate) > 1e-18 {
+		t.Errorf("rate %v, want %v", as.GraphFailureRate["g"], wantRate)
+	}
+}

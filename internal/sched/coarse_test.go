@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+func TestCoarseSingleTask(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 3, 7, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0})
+	c := &Coarse{}
+	res, err := c.Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Bounds[sys.Node("g/a").ID]
+	if b.MinStart != 0 || b.MinFinish != 3 || b.MaxFinish != 7 {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+func TestCoarseChargesWholeProcessor(t *testing.T) {
+	hi := model.NewTaskGraph("hi", 100).SetCritical(1e-9)
+	hi.AddTask("h", 2, 2, 0, 0)
+	lo := model.NewTaskGraph("lo", 100).SetCritical(1e-9)
+	lo.AddTask("l", 9, 9, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(hi, lo), model.Mapping{"hi/h": 0, "lo/l": 0})
+	res, err := (&Coarse{}).Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even the high-priority job is charged the other's execution: 2+9.
+	if got := res.Bounds[sys.Node("hi/h").ID].MaxFinish; got != 11 {
+		t.Errorf("h coarse bound = %d, want 11", got)
+	}
+}
+
+func TestCoarseExcludesRelatives(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 2, 4, 0, 0)
+	g.AddTask("b", 3, 5, 0, 0)
+	g.AddChannel("a", "b", 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0, "g/b": 0})
+	res, err := (&Coarse{}).Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b's activation is a's finish; a (an ancestor) must not be charged
+	// again: fin = 4 + 5 = 9. Symmetrically a is not charged b.
+	if got := res.Bounds[sys.Node("g/b").ID].MaxFinish; got != 9 {
+		t.Errorf("b coarse bound = %d, want 9", got)
+	}
+	if got := res.Bounds[sys.Node("g/a").ID].MaxFinish; got != 4 {
+		t.Errorf("a coarse bound = %d, want 4", got)
+	}
+}
+
+// TestCoarseDominatesHolistic: the coarse bound must never fall below the
+// holistic one — Holistic only sharpens by excluding provably harmless
+// interference.
+func TestCoarseDominatesHolistic(t *testing.T) {
+	// Reuse a moderately tangled multi-graph system.
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	g.AddTask("a", 1, 4, 0, 0)
+	g.AddTask("b", 1, 6, 0, 0)
+	g.AddTask("c", 1, 5, 0, 0)
+	g.AddChannel("a", "b", 0)
+	g.AddChannel("a", "c", 0)
+	lo := model.NewTaskGraph("lo", 500).SetCritical(1e-9)
+	lo.AddTask("x", 2, 8, 0, 0)
+	apps := model.NewAppSet(g, lo)
+	m := model.Mapping{"g/a": 0, "g/b": 0, "g/c": 1, "lo/x": 0}
+	sys := compile(t, arch(2), apps, m)
+
+	exec := NominalExec(sys)
+	coarse, err := (&Coarse{}).Analyze(sys, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holistic, err := (&Holistic{}).Analyze(sys, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Nodes {
+		if coarse.Bounds[i].MaxFinish < holistic.Bounds[i].MaxFinish {
+			t.Errorf("node %d: coarse %v < holistic %v", i,
+				coarse.Bounds[i].MaxFinish, holistic.Bounds[i].MaxFinish)
+		}
+		if coarse.Bounds[i].MinStart > holistic.Bounds[i].MinStart {
+			t.Errorf("node %d: coarse minStart %v above holistic %v", i,
+				coarse.Bounds[i].MinStart, holistic.Bounds[i].MinStart)
+		}
+	}
+}
+
+func TestCoarseValidatesExec(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 1, 2, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0})
+	if _, err := (&Coarse{}).Analyze(sys, nil); err == nil {
+		t.Error("nil exec accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+// twoFlows builds two cross-processor flows whose messages target
+// different destinations: they contend on a shared bus but not on a
+// crossbar.
+func twoFlows(t *testing.T, kind model.FabricKind) (*Result, model.Time, model.Time) {
+	t.Helper()
+	a := arch(4)
+	a.Fabric = model.Fabric{Kind: kind, Bandwidth: 1, BaseLatency: 0}
+	g1 := model.NewTaskGraph("g1", 1000).SetCritical(1e-9)
+	g1.AddTask("a", 1, 1, 0, 0)
+	g1.AddTask("b", 1, 1, 0, 0)
+	g1.AddChannel("a", "b", 50)
+	g2 := model.NewTaskGraph("g2", 1000).SetCritical(1e-9)
+	g2.AddTask("c", 1, 1, 0, 0)
+	g2.AddTask("d", 1, 1, 0, 0)
+	g2.AddChannel("c", "d", 70)
+	m := model.Mapping{"g1/a": 0, "g1/b": 1, "g2/c": 2, "g2/d": 3}
+	sys := compile(t, a, model.NewAppSet(g1, g2), m)
+	res := analyze(t, sys)
+	return res, res.Bounds[sys.Node("g1/b").ID].MaxFinish, res.Bounds[sys.Node("g2/d").ID].MaxFinish
+}
+
+// TestCrossbarRemovesCrossDestinationContention: with distinct
+// destinations, crossbar bounds match the ideal fabric while the shared
+// bus charges blocking.
+func TestCrossbarRemovesCrossDestinationContention(t *testing.T) {
+	_, idealB, idealD := twoFlows(t, model.FabricIdeal)
+	_, busB, busD := twoFlows(t, model.FabricSharedBus)
+	_, xbarB, xbarD := twoFlows(t, model.FabricCrossbar)
+	if xbarB != idealB || xbarD != idealD {
+		t.Errorf("crossbar (%v,%v) should match ideal (%v,%v) for disjoint destinations",
+			xbarB, xbarD, idealB, idealD)
+	}
+	if busB <= idealB && busD <= idealD {
+		t.Errorf("shared bus should charge contention somewhere: bus=(%v,%v) ideal=(%v,%v)",
+			busB, busD, idealB, idealD)
+	}
+}
+
+// TestCrossbarKeepsSameDestinationContention: two messages into one
+// processor still contend on the crossbar's input port.
+func TestCrossbarKeepsSameDestinationContention(t *testing.T) {
+	mk := func(kind model.FabricKind) model.Time {
+		a := arch(3)
+		a.Fabric = model.Fabric{Kind: kind, Bandwidth: 1, BaseLatency: 0}
+		g1 := model.NewTaskGraph("g1", 1000).SetCritical(1e-9)
+		g1.AddTask("a", 1, 1, 0, 0)
+		g1.AddTask("b", 1, 1, 0, 0)
+		g1.AddChannel("a", "b", 50)
+		g2 := model.NewTaskGraph("g2", 1000).SetCritical(1e-9)
+		g2.AddTask("c", 1, 1, 0, 0)
+		g2.AddTask("d", 1, 1, 0, 0)
+		g2.AddChannel("c", "d", 70)
+		// Both destination tasks on processor 1.
+		m := model.Mapping{"g1/a": 0, "g1/b": 1, "g2/c": 2, "g2/d": 1}
+		sys := compile(t, a, model.NewAppSet(g1, g2), m)
+		res := analyze(t, sys)
+		return res.Bounds[sys.Node("g2/d").ID].MaxFinish
+	}
+	ideal := mk(model.FabricIdeal)
+	xbar := mk(model.FabricCrossbar)
+	if xbar <= ideal {
+		t.Errorf("crossbar same-destination contention missing: %v <= %v", xbar, ideal)
+	}
+}
+
+// TestMeshDelayGrowsWithDistance: the mesh latency term scales with hops
+// in the compiled edge delays.
+func TestMeshDelayGrowsWithDistance(t *testing.T) {
+	a := arch(4)
+	a.Fabric = model.Fabric{Kind: model.FabricMesh, MeshWidth: 2, Bandwidth: 1, BaseLatency: 10}
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	g.AddTask("a", 1, 1, 0, 0)
+	g.AddTask("near", 1, 1, 0, 0)
+	g.AddTask("far", 1, 1, 0, 0)
+	g.AddChannel("a", "near", 20)
+	g.AddChannel("a", "far", 20)
+	m := model.Mapping{"g/a": 0, "g/near": 1, "g/far": 3}
+	sys := compile(t, a, model.NewAppSet(g), m)
+	res := analyze(t, sys)
+	nearFin := res.Bounds[sys.Node("g/near").ID].MaxFinish
+	farFin := res.Bounds[sys.Node("g/far").ID].MaxFinish
+	// near: 1 + (10+20) + 1 = 32; far: extra hop latency 10 -> 42.
+	if nearFin != 32 || farFin != 42 {
+		t.Errorf("near=%v far=%v, want 32/42", nearFin, farFin)
+	}
+}

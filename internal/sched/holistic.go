@@ -1,0 +1,442 @@
+package sched
+
+import (
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// Holistic is the default schedulability backend: an offset-based
+// job-level response-time analysis for fixed-priority preemptive
+// processors connected by either an ideal fabric or a shared bus.
+//
+// The compiled system already contains one node per job inside the
+// hyperperiod (platform unrolls graph instances), so the analysis bounds
+// every job individually:
+//
+//   - best case: a forward pass assuming no interference and
+//     contention-free communication — a true lower bound on start times;
+//   - worst case: the activation of a job is the latest finish of its
+//     predecessors plus the communication delay; its busy window sums the
+//     execution of every higher-priority job on the same processor that
+//     cannot be excluded. A job j is excluded when it certainly finished
+//     before i can first activate (maxFinish_j <= minStart_i), when it
+//     certainly activates after i's window closes, or when it is a
+//     transitive predecessor of i (its finish already defines i's
+//     activation).
+//
+// The cross-graph dependencies (jitter via predecessor finishes and the
+// exclusion tests) are solved by an outer fixed point. Because the
+// compiled job set covers exactly one hyperperiod, bounds are valid for
+// systems that complete each hyperperiod's work within that hyperperiod —
+// which the feasibility check enforces (every deadline <= period <=
+// hyperperiod boundary). Overloaded designs surface as deadline misses,
+// reported via Result.Schedulable.
+type Holistic struct {
+	// MaxOuterIters caps the outer fixed point; zero selects the default
+	// (256). Hitting the cap saturates unconverged jobs to infinity,
+	// which keeps the result safe.
+	MaxOuterIters int
+}
+
+// Name implements Analyzer.
+func (h *Holistic) Name() string { return "holistic-job-rta" }
+
+func (h *Holistic) maxOuterIters() int {
+	if h.MaxOuterIters > 0 {
+		return h.MaxOuterIters
+	}
+	return 256
+}
+
+// Analyze implements Analyzer.
+func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, error) {
+	if err := ValidateExec(sys, exec); err != nil {
+		return nil, err
+	}
+	n := len(sys.Nodes)
+	res := &Result{Bounds: make([]Bounds, n)}
+
+	// ---- Phase A: precedence-only best-case pass ------------------------
+	// minAct[i] is a lower bound on job i's ACTIVATION (all inputs
+	// available); Bounds.MinStart is a lower bound on its START (first
+	// execution). They coincide in phase A and diverge in phase C, where
+	// guaranteed higher-priority demand delays starts but not activations.
+	// The worst-pass exclusion tests must use minAct: a job that finishes
+	// before i's activation cannot delay it, but a job finishing before
+	// i's (interference-delayed) start may be the very reason the start is
+	// late.
+	minAct := make([]model.Time, n)
+	h.bestCasePrec(sys, exec, res, minAct)
+
+	// ---- Phase B: worst-case fixed point --------------------------------
+	maxFinish := make([]model.Time, n)
+	activation := make([]model.Time, n)
+	diverged := h.worstPass(sys, exec, res, minAct, maxFinish, activation)
+
+	if !diverged {
+		// ---- Phase C: best-case improvement ------------------------------
+		// Jobs whose worst-case activation certainly precedes a
+		// lower-priority job's earliest start must complete at least their
+		// bcet before it starts; folding that guaranteed demand into
+		// minStart tightens the Algorithm 1 before/after-the-fault
+		// classifications, and the improved predecessor finishes lift the
+		// activation bounds used by the exclusion tests.
+		if h.improveBestCase(sys, exec, res, minAct, activation) {
+			// ---- Phase D: re-run the worst case with tighter exclusions.
+			diverged = h.worstPass(sys, exec, res, minAct, maxFinish, activation)
+		}
+	}
+
+	if diverged {
+		for i := range maxFinish {
+			maxFinish[i] = model.Infinity
+		}
+	}
+	res.Schedulable = true
+	for i := range maxFinish {
+		res.Bounds[i].MaxFinish = maxFinish[i]
+		if maxFinish[i].IsInfinite() || maxFinish[i] > sys.Nodes[i].AbsDeadline {
+			res.Schedulable = false
+		}
+	}
+	return res, nil
+}
+
+// bestCasePrec fills MinStart/MinFinish/minAct from precedence chains
+// only.
+func (h *Holistic) bestCasePrec(sys *platform.System, exec []ExecBounds, res *Result, minAct []model.Time) {
+	for gi := range sys.GraphNodes {
+		for _, nid := range sys.GraphNodes[gi] { // topo order per instance
+			node := sys.Nodes[nid]
+			start := node.Release
+			for _, e := range node.In {
+				f := model.SatAdd(res.Bounds[e.From].MinFinish, e.Delay)
+				if f > start {
+					start = f
+				}
+			}
+			minAct[nid] = start
+			res.Bounds[nid].MinStart = start
+			res.Bounds[nid].MinFinish = model.SatAdd(start, exec[nid].B)
+		}
+	}
+}
+
+// worstPass runs the outer worst-case fixed point, filling maxFinish and
+// activation. It reports whether the recurrences failed to converge
+// (treated as divergence).
+func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Result, minAct, maxFinish, activation []model.Time) bool {
+	for i := range maxFinish {
+		maxFinish[i] = res.Bounds[i].MinFinish
+		activation[i] = res.Bounds[i].MinStart
+	}
+	limit := sys.Hyperperiod * 4
+	busDelay := h.initBusDelays(sys)
+
+	iters := 0
+	for ; iters < h.maxOuterIters(); iters++ {
+		changed := false
+		if sys.Arch.Fabric.Arbitrated() {
+			if h.updateBusDelays(sys, exec, res, maxFinish, activation, busDelay) {
+				changed = true
+			}
+		}
+		for gi := range sys.GraphNodes {
+			for _, nid := range sys.GraphNodes[gi] {
+				node := sys.Nodes[nid]
+				act := node.Release
+				for _, e := range node.In {
+					d := e.Delay
+					if sys.Arch.Fabric.Arbitrated() && d > 0 {
+						d = busDelay[edgeKey{e.From, e.To}]
+					}
+					f := model.SatAdd(maxFinish[e.From], d)
+					if f > act {
+						act = f
+					}
+				}
+				fin := model.Time(model.Infinity)
+				if !act.IsInfinite() {
+					fin = h.worstFinish(sys, exec, minAct, maxFinish, nid, act, limit)
+				}
+				if act != activation[nid] || fin != maxFinish[nid] {
+					changed = true
+					activation[nid] = act
+					maxFinish[nid] = fin
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Iterations += iters
+	return iters >= h.maxOuterIters()
+}
+
+// improveBestCase lifts MinStart using guaranteed higher-priority demand:
+// every same-processor higher-priority job whose worst-case activation is
+// no later than the job's current earliest start certainly executes its
+// bcet before the job can start. minAct is lifted through improved
+// predecessor finishes only (activations do not wait for interference).
+// Returns true when any bound moved.
+func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res *Result, minAct, activation []model.Time) bool {
+	improved := false
+	for sweep := 0; sweep < 64; sweep++ {
+		changed := false
+		for gi := range sys.GraphNodes {
+			for _, nid := range sys.GraphNodes[gi] {
+				node := sys.Nodes[nid]
+				prec := node.Release
+				for _, e := range node.In {
+					f := model.SatAdd(res.Bounds[e.From].MinFinish, e.Delay)
+					if f > prec {
+						prec = f
+					}
+				}
+				if prec > minAct[nid] {
+					minAct[nid] = prec
+					changed = true
+					improved = true
+				}
+				if exec[nid].W == 0 {
+					// Timeless jobs (dispatch steps, silent passive
+					// replicas, dropped jobs) complete at activation and
+					// never queue for the processor, so the
+					// guaranteed-demand guard below must not delay them.
+					if prec > res.Bounds[nid].MinStart {
+						res.Bounds[nid].MinStart = prec
+						res.Bounds[nid].MinFinish = prec
+						changed = true
+						improved = true
+					}
+					continue
+				}
+				s := model.MaxTime(prec, res.Bounds[nid].MinStart)
+				// Inner fixed point: growing s can only admit more
+				// guaranteed-earlier jobs.
+				for {
+					var demand model.Time
+					for _, pid := range sys.ProcNodes[node.Proc] {
+						p := sys.Nodes[pid]
+						if p.Priority >= node.Priority {
+							break
+						}
+						if activation[pid].IsInfinite() || activation[pid] > s {
+							continue
+						}
+						demand = model.SatAdd(demand, exec[pid].B)
+					}
+					ns := model.MaxTime(prec, demand)
+					if ns <= s {
+						break
+					}
+					s = ns
+				}
+				if s > res.Bounds[nid].MinStart {
+					res.Bounds[nid].MinStart = s
+					res.Bounds[nid].MinFinish = model.SatAdd(s, exec[nid].B)
+					changed = true
+					improved = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return improved
+}
+
+// worstFinish computes the worst-case finish of job nid given its
+// worst-case activation act: act plus the busy window over
+// non-excludable higher-priority same-processor jobs.
+func (h *Holistic) worstFinish(sys *platform.System, exec []ExecBounds, minAct, maxFinish []model.Time, nid platform.NodeID, act, limit model.Time) model.Time {
+	node := sys.Nodes[nid]
+	own := exec[nid].W
+	if own == 0 {
+		// Zero-wcet jobs (dropped or uninvoked passive replicas) complete
+		// instantaneously upon activation.
+		return act
+	}
+	peers := sys.ProcNodes[node.Proc]
+	// Non-preemptive processors add a single blocking term: at most one
+	// lower-priority job can already occupy the processor when i
+	// activates, and it then runs to completion. The higher-priority
+	// interference window below is kept unchanged — charging jobs that
+	// arrive during i's own (unpreemptable) execution is conservative.
+	var block model.Time
+	if node.NonPreemptive {
+		for _, pid := range peers {
+			p := sys.Nodes[pid]
+			if p.Priority <= node.Priority {
+				continue
+			}
+			c := exec[pid].W
+			if c == 0 || c <= block {
+				continue
+			}
+			// Cannot block: certainly finished before i can activate, is
+			// a relative of i (ancestors finished; descendants cannot
+			// start), or certainly activates after i does.
+			if maxFinish[pid] <= minAct[nid] && !maxFinish[pid].IsInfinite() {
+				continue
+			}
+			if sys.IsAncestor(pid, nid) || sys.IsAncestor(nid, pid) {
+				continue
+			}
+			if minAct[pid] >= act {
+				continue
+			}
+			block = c
+		}
+	}
+	win := model.SatAdd(own, block)
+	for iter := 0; iter < 1_000_000; iter++ {
+		next := model.SatAdd(own, block)
+		for _, pid := range peers {
+			p := sys.Nodes[pid]
+			if p.Priority >= node.Priority {
+				break // peers are sorted: no more higher-priority jobs
+			}
+			c := exec[pid].W
+			if c == 0 {
+				continue
+			}
+			// Exclusion 1: j certainly finished before i can first
+			// activate.
+			if maxFinish[pid] <= minAct[nid] && !maxFinish[pid].IsInfinite() {
+				continue
+			}
+			// Exclusion 2: j is a transitive predecessor of i — its
+			// completion already defines i's activation.
+			if sys.IsAncestor(pid, nid) {
+				continue
+			}
+			// Exclusion 3: j certainly activates after i's window closes.
+			if minAct[pid] >= model.SatAdd(act, win) {
+				continue
+			}
+			next = model.SatAdd(next, c)
+		}
+		if next > limit {
+			return model.Infinity
+		}
+		if next == win {
+			break
+		}
+		win = next
+	}
+	fin := model.SatAdd(act, win)
+	if fin > limit {
+		return model.Infinity
+	}
+	return fin
+}
+
+type edgeKey struct{ from, to platform.NodeID }
+
+func (h *Holistic) initBusDelays(sys *platform.System) map[edgeKey]model.Time {
+	if !sys.Arch.Fabric.Arbitrated() {
+		return nil
+	}
+	out := make(map[edgeKey]model.Time)
+	for _, node := range sys.Nodes {
+		for _, e := range node.Out {
+			if e.Delay > 0 {
+				out[edgeKey{e.From, e.To}] = e.Delay
+			}
+		}
+	}
+	return out
+}
+
+// updateBusDelays recomputes worst-case message delays on the shared bus:
+// non-preemptive fixed-priority arbitration with the sender's priority.
+// Every cross-processor edge is one message per hyperperiod; a message
+// suffers blocking by the largest lower-priority message plus the
+// transmission of every higher-priority message that cannot be excluded
+// (sender certainly finished before this sender could start, or certainly
+// starts after this message's window). Returns true when any delay
+// changed.
+func (h *Holistic) updateBusDelays(sys *platform.System, exec []ExecBounds, res *Result, maxFinish, activation []model.Time, delays map[edgeKey]model.Time) bool {
+	type msg struct {
+		key    edgeKey
+		c      model.Time
+		prio   int
+		sender platform.NodeID
+		// domain partitions the contention space (0 = shared bus; per
+		// destination processor under crossbar arbitration).
+		domain int
+	}
+	// Under crossbar arbitration, messages contend only with messages to
+	// the same destination processor; the shared bus is one contention
+	// domain for everything.
+	crossbar := sys.Arch.Fabric.EffectiveKind() == model.FabricCrossbar
+	var msgs []msg
+	for _, node := range sys.Nodes {
+		for _, e := range node.Out {
+			if e.Delay <= 0 {
+				continue
+			}
+			if exec[e.From].W == 0 {
+				continue // dropped sender transmits nothing
+			}
+			dom := 0
+			if crossbar {
+				dom = int(sys.Nodes[e.To].Proc) + 1
+			}
+			msgs = append(msgs, msg{
+				key: edgeKey{e.From, e.To}, c: e.Delay,
+				prio: node.Priority, sender: e.From, domain: dom,
+			})
+		}
+	}
+	limit := sys.Hyperperiod * 4
+	changed := false
+	for _, m := range msgs {
+		var block model.Time
+		for _, o := range msgs {
+			if o.key == m.key || o.domain != m.domain {
+				continue
+			}
+			if o.prio >= m.prio && o.c > block {
+				block = o.c
+			}
+		}
+		win := m.c + block
+		for iter := 0; iter < 1_000_000; iter++ {
+			next := m.c + block
+			for _, o := range msgs {
+				if o.key == m.key || o.domain != m.domain || o.prio >= m.prio {
+					continue
+				}
+				// Exclude senders that certainly finished before this
+				// sender could finish (message readiness) — conservative
+				// overlap test on sender windows.
+				if maxFinish[o.sender] <= res.Bounds[m.sender].MinStart && !maxFinish[o.sender].IsInfinite() {
+					continue
+				}
+				if res.Bounds[o.sender].MinStart >= model.SatAdd(model.SatAdd(maxFinish[m.sender], win), 0) {
+					continue
+				}
+				next = model.SatAdd(next, o.c)
+			}
+			if next > limit {
+				win = model.Infinity
+				break
+			}
+			if next == win {
+				break
+			}
+			win = next
+		}
+		if delays[m.key] != win {
+			delays[m.key] = win
+			changed = true
+		}
+	}
+	return changed
+}
+
+var _ Analyzer = (*Holistic)(nil)

@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"testing"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+func arch(n int) *model.Architecture {
+	a := &model.Architecture{Name: "test", Fabric: model.Fabric{Bandwidth: 1, BaseLatency: 0}}
+	for i := 0; i < n; i++ {
+		a.Procs = append(a.Procs, model.Processor{ID: model.ProcID(i), Name: "p" + string(rune('0'+i)), StaticPower: 0.1, DynPower: 1})
+	}
+	return a
+}
+
+func compile(t *testing.T, a *model.Architecture, apps *model.AppSet, m model.Mapping) *platform.System {
+	t.Helper()
+	sys, err := platform.Compile(a, apps, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func analyze(t *testing.T, sys *platform.System) *Result {
+	t.Helper()
+	h := &Holistic{}
+	res, err := h.Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleTask(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 3, 7, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0})
+	res := analyze(t, sys)
+	b := res.Bounds[sys.Node("g/a").ID]
+	if b.MinStart != 0 || b.MinFinish != 3 || b.MaxFinish != 7 {
+		t.Errorf("bounds = %+v", b)
+	}
+	if !res.Schedulable {
+		t.Error("trivial system unschedulable")
+	}
+}
+
+func TestChainSameProc(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 2, 4, 0, 0)
+	g.AddTask("b", 3, 5, 0, 0)
+	g.AddChannel("a", "b", 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0, "g/b": 0})
+	res := analyze(t, sys)
+	a := res.Bounds[sys.Node("g/a").ID]
+	b := res.Bounds[sys.Node("g/b").ID]
+	if a.MaxFinish != 4 {
+		t.Errorf("a.MaxFinish = %d", a.MaxFinish)
+	}
+	if b.MinStart != 2 || b.MinFinish != 5 {
+		t.Errorf("b best case = %+v", b)
+	}
+	// b activates at a's worst finish (4); a is higher priority
+	// (upstream) and its single job already ran, but the analysis
+	// conservatively charges interference: ceil((w+J_a)/T)*C_a.
+	// w = 5 + ceil((5+4)/100)*4 = 9; maxFinish = 4 + 9 = 13.
+	if b.MaxFinish < 9 || b.MaxFinish > 13 {
+		t.Errorf("b.MaxFinish = %d, expected within [9,13]", b.MaxFinish)
+	}
+}
+
+func TestCrossProcDelay(t *testing.T) {
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	g.AddTask("a", 2, 4, 0, 0)
+	g.AddTask("b", 3, 5, 0, 0)
+	g.AddChannel("a", "b", 10) // delay = 0 + ceil(10/1) = 10
+	sys := compile(t, arch(2), model.NewAppSet(g), model.Mapping{"g/a": 0, "g/b": 1})
+	res := analyze(t, sys)
+	b := res.Bounds[sys.Node("g/b").ID]
+	if b.MinStart != 12 { // 2 + 10
+		t.Errorf("b.MinStart = %d, want 12", b.MinStart)
+	}
+	if b.MaxFinish != 19 { // 4 + 10 + 5, no interference on p1
+		t.Errorf("b.MaxFinish = %d, want 19", b.MaxFinish)
+	}
+}
+
+func TestInterferenceHigherPriority(t *testing.T) {
+	// Two independent graphs on one processor; the shorter-period one has
+	// higher RM priority among equal criticality.
+	hi := model.NewTaskGraph("hi", 10).SetCritical(1e-9)
+	hi.AddTask("h", 1, 2, 0, 0)
+	lo := model.NewTaskGraph("lo", 100).SetCritical(1e-9)
+	lo.AddTask("l", 4, 6, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(hi, lo), model.Mapping{"hi/h": 0, "lo/l": 0})
+	res := analyze(t, sys)
+	l := res.Bounds[sys.Node("lo/l").ID]
+	// w = 6 + ceil(w/10)*2: w=6→8→8: maxFinish 8.
+	if l.MaxFinish != 8 {
+		t.Errorf("l.MaxFinish = %d, want 8", l.MaxFinish)
+	}
+	h := res.Bounds[sys.Node("hi/h").ID]
+	if h.MaxFinish != 2 {
+		t.Errorf("h.MaxFinish = %d, want 2 (no interference from lower prio)", h.MaxFinish)
+	}
+}
+
+func TestOverloadReportedUnschedulable(t *testing.T) {
+	// Utilization > 1 on one processor: 2/10 + 9/10 = 1.1. The job-level
+	// analysis yields a finite first-hyperperiod bound, but the
+	// lower-priority job misses its deadline, so the result is flagged
+	// unschedulable.
+	hi := model.NewTaskGraph("hi", 10).SetCritical(1e-9)
+	hi.AddTask("h", 2, 2, 0, 0)
+	lo := model.NewTaskGraph("lo", 10).SetCritical(1e-9)
+	lo.AddTask("l", 9, 9, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(hi, lo), model.Mapping{"hi/h": 0, "lo/l": 0})
+	res := analyze(t, sys)
+	if res.Schedulable {
+		t.Fatal("overloaded processor reported schedulable")
+	}
+	l := res.Bounds[sys.Node("lo/l").ID]
+	if l.MaxFinish != 11 { // 9 + interference 2 > deadline 10
+		t.Errorf("l.MaxFinish = %d, want 11", l.MaxFinish)
+	}
+	// The higher-priority job meets its deadline.
+	h := res.Bounds[sys.Node("hi/h").ID]
+	if h.MaxFinish != 2 {
+		t.Errorf("h.MaxFinish = %d, want 2", h.MaxFinish)
+	}
+}
+
+func TestPrecedenceExclusion(t *testing.T) {
+	// A predecessor on the same processor must not be charged as
+	// interference on its successor: the chain a->b has b.MaxFinish
+	// exactly a.WCET + b.WCET.
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 2, 4, 0, 0)
+	g.AddTask("b", 3, 5, 0, 0)
+	g.AddChannel("a", "b", 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0, "g/b": 0})
+	res := analyze(t, sys)
+	b := res.Bounds[sys.Node("g/b").ID]
+	if b.MaxFinish != 9 {
+		t.Errorf("b.MaxFinish = %d, want 9 (no self-chain interference)", b.MaxFinish)
+	}
+}
+
+func TestCertainlyFinishedExclusion(t *testing.T) {
+	// A higher-priority job that certainly finishes before a later job
+	// can first start must not interfere with it.
+	early := model.NewTaskGraph("early", 1000).SetCritical(1e-9)
+	early.AddTask("e", 3, 3, 0, 0)
+	late := model.NewTaskGraph("late", 1000).SetCritical(1e-9)
+	late.AddTask("pre", 100, 100, 0, 0) // on another processor
+	late.AddTask("l", 7, 7, 0, 0)
+	late.AddChannel("pre", "l", 0)
+	sys := compile(t, arch(2), model.NewAppSet(early, late),
+		model.Mapping{"early/e": 0, "late/pre": 1, "late/l": 0})
+	res := analyze(t, sys)
+	l := res.Bounds[sys.Node("late/l").ID]
+	// e: [0,3] certainly done before l's earliest start (100).
+	if l.MaxFinish != 107 {
+		t.Errorf("l.MaxFinish = %d, want 107 (e excluded)", l.MaxFinish)
+	}
+}
+
+func TestMultiInstanceInterference(t *testing.T) {
+	// A 2-instance high-rate graph interferes with a long low-rate job
+	// once per instance that overlaps its window.
+	hi := model.NewTaskGraph("hi", 50).SetCritical(1e-9)
+	hi.AddTask("h", 10, 10, 0, 0)
+	lo := model.NewTaskGraph("lo", 100).SetCritical(1e-9)
+	lo.AddTask("l", 60, 60, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(hi, lo), model.Mapping{"hi/h": 0, "lo/l": 0})
+	res := analyze(t, sys)
+	l := res.Bounds[sys.Node("lo/l").ID]
+	// win = 60 + h0(10) + h1(10) = 80 > deadline 100? no: fin 80.
+	if l.MaxFinish != 80 {
+		t.Errorf("l.MaxFinish = %d, want 80", l.MaxFinish)
+	}
+	h1 := sys.NodesOf("hi/h")[1]
+	// Second instance: released at 50, must finish by 100.
+	if res.Bounds[h1.ID].MaxFinish != 60 {
+		t.Errorf("h1.MaxFinish = %d, want 60", res.Bounds[h1.ID].MaxFinish)
+	}
+}
+
+func TestZeroExecNodes(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 2, 4, 0, 0)
+	g.AddTask("z", 1, 3, 0, 0)
+	g.AddTask("b", 3, 5, 0, 0)
+	g.AddChannel("a", "z", 0)
+	g.AddChannel("z", "b", 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0, "g/z": 0, "g/b": 0})
+	exec := NominalExec(sys)
+	exec[sys.Node("g/z").ID] = ExecBounds{} // dropped
+	h := &Holistic{}
+	res, err := h.Analyze(sys, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := res.Bounds[sys.Node("g/z").ID]
+	if z.MinFinish != z.MinStart {
+		t.Error("zero-exec node should finish instantly in the best case")
+	}
+	if z.MaxFinish != 4 { // = a's worst finish, no own time, no interference
+		t.Errorf("z.MaxFinish = %d, want 4", z.MaxFinish)
+	}
+}
+
+func TestJitterPropagation(t *testing.T) {
+	// A fork where one branch has large execution variance; the join task
+	// inherits that jitter. We check monotonicity: growing the variance
+	// grows (or keeps) the join's bounds.
+	mk := func(wcet model.Time) model.Time {
+		g := model.NewTaskGraph("g", 10000).SetCritical(1e-9)
+		g.AddTask("src", 1, 1, 0, 0)
+		g.AddTask("var", 1, wcet, 0, 0)
+		g.AddTask("join", 2, 3, 0, 0)
+		g.AddChannel("src", "var", 0)
+		g.AddChannel("var", "join", 0)
+		sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/src": 0, "g/var": 0, "g/join": 0})
+		return analyze(t, sys).Bounds[sys.Node("g/join").ID].MaxFinish
+	}
+	small, large := mk(5), mk(50)
+	if small > large {
+		t.Errorf("join bound decreased when variance grew: %d > %d", small, large)
+	}
+}
+
+func TestSharedBusContention(t *testing.T) {
+	a := arch(3)
+	a.Fabric.Shared = true
+	a.Fabric.Bandwidth = 1
+	// Two graphs sending messages concurrently on the bus.
+	g1 := model.NewTaskGraph("g1", 1000).SetCritical(1e-9)
+	g1.AddTask("a", 1, 1, 0, 0)
+	g1.AddTask("b", 1, 1, 0, 0)
+	g1.AddChannel("a", "b", 50)
+	g2 := model.NewTaskGraph("g2", 1000).SetCritical(1e-9)
+	g2.AddTask("c", 1, 1, 0, 0)
+	g2.AddTask("d", 1, 1, 0, 0)
+	g2.AddChannel("c", "d", 70)
+	m := model.Mapping{"g1/a": 0, "g1/b": 1, "g2/c": 2, "g2/d": 1}
+	sysShared := compile(t, a, model.NewAppSet(g1, g2), m)
+
+	ideal := arch(3)
+	ideal.Fabric.Bandwidth = 1
+	sysIdeal := compile(t, ideal, model.NewAppSet(g1, g2), m)
+
+	rs := analyze(t, sysShared)
+	ri := analyze(t, sysIdeal)
+	bShared := rs.Bounds[sysShared.Node("g1/b").ID].MaxFinish
+	bIdeal := ri.Bounds[sysIdeal.Node("g1/b").ID].MaxFinish
+	if bShared < bIdeal {
+		t.Errorf("shared-bus bound %d below ideal-fabric bound %d", bShared, bIdeal)
+	}
+	// Contention (blocking by the 70-unit message) must actually show up
+	// for the lower-priority message of the two.
+	dShared := rs.Bounds[sysShared.Node("g2/d").ID].MaxFinish
+	dIdeal := ri.Bounds[sysIdeal.Node("g2/d").ID].MaxFinish
+	if bShared == bIdeal && dShared == dIdeal {
+		t.Error("shared bus produced no contention at all")
+	}
+}
+
+func TestValidateExec(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 1, 2, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0})
+	if err := ValidateExec(sys, nil); err == nil {
+		t.Error("nil exec accepted")
+	}
+	if err := ValidateExec(sys, []ExecBounds{{B: 5, W: 2}}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if err := ValidateExec(sys, []ExecBounds{{B: -1, W: 2}}); err == nil {
+		t.Error("negative bounds accepted")
+	}
+	if err := ValidateExec(sys, []ExecBounds{{B: 1, W: 2}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalysisMonotoneInWCET(t *testing.T) {
+	// Safety of the wrapper depends on backend monotonicity: growing any
+	// wcet must not shrink any maxFinish.
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	g.AddTask("a", 1, 4, 0, 0)
+	g.AddTask("b", 1, 6, 0, 0)
+	g.AddTask("c", 1, 5, 0, 0)
+	g.AddChannel("a", "b", 0)
+	g.AddChannel("a", "c", 0)
+	lo := model.NewTaskGraph("lo", 500).SetCritical(1e-9)
+	lo.AddTask("x", 2, 8, 0, 0)
+	apps := model.NewAppSet(g, lo)
+	m := model.Mapping{"g/a": 0, "g/b": 0, "g/c": 1, "lo/x": 0}
+	sys := compile(t, arch(2), apps, m)
+	h := &Holistic{}
+	base, err := h.Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for grow := range sys.Nodes {
+		exec := NominalExec(sys)
+		exec[grow].W *= 3
+		res, err := h.Analyze(sys, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sys.Nodes {
+			if res.Bounds[i].MaxFinish < base.Bounds[i].MaxFinish {
+				t.Errorf("growing node %d wcet shrank node %d bound: %d < %d",
+					grow, i, res.Bounds[i].MaxFinish, base.Bounds[i].MaxFinish)
+			}
+		}
+	}
+}
+
+func TestNominalExecIncludesDetectionOverhead(t *testing.T) {
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	v := g.AddTask("v", 10, 100, 0, 7)
+	v.ReExec = 1
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/v": 0})
+	exec := NominalExec(sys)
+	if exec[0].B != 17 || exec[0].W != 107 {
+		t.Errorf("nominal exec = %+v, want [17,107]", exec[0])
+	}
+}

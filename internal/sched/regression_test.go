@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"testing"
+
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+// TestTimelessJobsKeepPrecedenceStartBounds is the regression test for a
+// soundness bug found by randomized fault-injection testing: the phase-C
+// best-case improvement used to charge guaranteed higher-priority demand
+// to zero-execution jobs (dispatch steps, silent passive replicas), but
+// those complete instantly at activation and never queue — the inflated
+// minStart then propagated into unsound "certainly dropped"
+// classifications downstream.
+func TestTimelessJobsKeepPrecedenceStartBounds(t *testing.T) {
+	// One processor with heavy high-priority load, plus a chain whose
+	// middle element is a timeless job.
+	hog := model.NewTaskGraph("hog", 1000).SetCritical(1e-9)
+	hog.AddTask("h", 100, 100, 0, 0)
+	chain := model.NewTaskGraph("chain", 1000).SetCritical(1e-9)
+	chain.AddTask("a", 10, 10, 0, 0)
+	chain.AddTask("z", 0, 0, 0, 0) // timeless
+	chain.AddTask("b", 10, 10, 0, 0)
+	chain.AddChannel("a", "z", 0)
+	chain.AddChannel("z", "b", 0)
+	sys := compile(t, arch(1), model.NewAppSet(hog, chain),
+		model.Mapping{"hog/h": 0, "chain/a": 0, "chain/z": 0, "chain/b": 0})
+	res, err := (&Holistic{}).Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := res.Bounds[sys.Node("chain/z").ID]
+	a := res.Bounds[sys.Node("chain/a").ID]
+	// z completes at activation: its earliest start must equal a's
+	// earliest finish, NOT be inflated by the hog's demand.
+	if z.MinStart != a.MinFinish {
+		t.Errorf("timeless minStart = %v, want %v (a's earliest finish)", z.MinStart, a.MinFinish)
+	}
+	if z.MinStart > z.MaxFinish {
+		t.Errorf("inverted bounds on timeless job: [%v, %v]", z.MinStart, z.MaxFinish)
+	}
+}
+
+// TestImprovedStartBoundsLiftLaterJobs verifies the phase-C improvement
+// itself: a low-priority job behind guaranteed demand gets a minStart
+// above its precedence bound.
+func TestImprovedStartBoundsLiftLaterJobs(t *testing.T) {
+	hog := model.NewTaskGraph("hog", 1000).SetCritical(1e-9)
+	hog.AddTask("h", 50, 60, 0, 0)
+	lo := model.NewTaskGraph("lo", 1000).SetCritical(1e-9)
+	lo.AddTask("l", 10, 10, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(hog, lo), model.Mapping{"hog/h": 0, "lo/l": 0})
+	res, err := (&Holistic{}).Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Bounds[sys.Node("lo/l").ID]
+	// h (higher priority, same release) certainly executes >= 50 before l
+	// can start.
+	if l.MinStart < 50 {
+		t.Errorf("l.MinStart = %v, want >= 50 (guaranteed demand)", l.MinStart)
+	}
+}
+
+// TestPassiveActivationRoutesThroughDispatch is the regression test for
+// the passive-invocation causality bug: the analysis must account for the
+// active-results-to-voter-processor hop before a passive replica can
+// start.
+func TestPassiveActivationRoutesThroughDispatch(t *testing.T) {
+	g := model.NewTaskGraph("g", 10000).SetCritical(1e-9)
+	g.AddTask("v", 100, 100, 5, 0)
+	man, err := hardening.Apply(model.NewAppSet(g), hardening.Plan{
+		"g/v": {Technique: hardening.PassiveReplication, Replicas: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch(3)
+	a.Fabric.BaseLatency = 40 // make the hop visible
+	a.Fabric.Bandwidth = 0
+	// Actives on p0/p1; voter+dispatch far away on p2; passive back on p0.
+	sys := compile(t, a, man.Apps, model.Mapping{
+		"g/v#r0": 0, "g/v#r1": 1, "g/v#r2": 0, "g/v#v": 2, "g/v#d": 2,
+	})
+	res, err := (&Holistic{}).Analyze(sys, NominalExec(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Bounds[sys.Node("g/v#r2").ID]
+	// Earliest invocation: active bcet (100) + hop to p2 (40) + signal
+	// back to p0 (40) = 180.
+	if p.MinStart < 180 {
+		t.Errorf("passive minStart = %v, want >= 180 (routing through the voter's processor)", p.MinStart)
+	}
+}

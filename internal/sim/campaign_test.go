@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+func campaignSystem(t *testing.T) (*RunResult, *CampaignResult, error) {
+	t.Helper()
+	g := model.NewTaskGraph("crit", 100).SetCritical(1e-9)
+	a := g.AddTask("a", 10, 20, 0, 2)
+	a.ReExec = 1
+	soft := model.NewTaskGraph("soft", 50).SetService(2)
+	soft.AddTask("s", 5, 10, 0, 0)
+	man, err := hardening.Apply(model.NewAppSet(g, soft), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := compile(t, arch(2), man.Apps, model.Mapping{"crit/a": 0, "soft/s": 0})
+	res, err := Run(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err2 := RunCampaign(sys, CampaignConfig{
+		Runs: 200, Seed: 3, Dropped: core.DropSet{"soft": true}, RandomExecTimes: true,
+	})
+	return res, camp, err2
+}
+
+func TestCampaignStatistics(t *testing.T) {
+	_, camp, err := campaignSystem(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := camp.StatsOf("crit")
+	if st == nil {
+		t.Fatal("missing crit stats")
+	}
+	if st.Completed != 200 {
+		t.Errorf("completed = %d, want 200", st.Completed)
+	}
+	// Percentile monotonicity.
+	if !(st.Min <= st.P50 && st.P50 <= st.P95 && st.P95 <= st.P99 && st.P99 <= st.Max) {
+		t.Errorf("percentiles not monotone: %+v", st)
+	}
+	if st.Mean < st.Min || st.Mean > st.Max {
+		t.Errorf("mean %v outside [min,max]", st.Mean)
+	}
+	// Responses span the random execution range: max must exceed min
+	// (200 random runs).
+	if st.Max == st.Min {
+		t.Error("no response variation across randomized runs")
+	}
+	if camp.StatsOf("nope") != nil {
+		t.Error("unknown graph resolved")
+	}
+	out := camp.Render()
+	if !strings.Contains(out, "crit") || !strings.Contains(out, "p95") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	_, a, err := campaignSystem(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := campaignSystem(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Unsafe != b.Unsafe || a.CriticalEntries != b.CriticalEntries {
+		t.Error("campaign not deterministic")
+	}
+	for i := range a.Graphs {
+		if a.Graphs[i] != b.Graphs[i] {
+			t.Errorf("graph %d stats differ", i)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []model.Time{10, 20, 30, 40}
+	cases := []struct {
+		p    int
+		want model.Time
+	}{{50, 20}, {95, 40}, {99, 40}, {1, 10}, {100, 40}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("p%d = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.horizon() != 1 {
+		t.Error("default horizon")
+	}
+	if _, ok := c.faults().(NoFaults); !ok {
+		t.Error("default faults")
+	}
+	if _, ok := c.exec().(WCETExec); !ok {
+		t.Error("default exec")
+	}
+	c2 := Config{Horizon: 3, Faults: WorstFaults{}, Exec: BCETExec{}}
+	if c2.horizon() != 3 {
+		t.Error("explicit horizon")
+	}
+	if _, ok := c2.faults().(WorstFaults); !ok {
+		t.Error("explicit faults")
+	}
+}
+
+func TestMaxResponseOfUnknownGraph(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 1, 1, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0})
+	res := mustRun(t, sys, Config{})
+	if res.MaxResponseOf(sys, "ghost") != 0 {
+		t.Error("unknown graph should report 0")
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	if (Adhoc{}).Name() != "Adhoc" || (WCSim{}).Name() != "WC-Sim" {
+		t.Error("estimator names wrong")
+	}
+}
+
+func TestProfileFaultsMissIsClean(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 5, 5, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0})
+	pf := &ProfileFaults{Hits: map[FaultCoord]bool{{Task: "g/a", Instance: 7, Attempt: 0}: true}}
+	res := mustRun(t, sys, Config{Faults: pf})
+	if res.Unsafe != 0 {
+		t.Error("non-matching profile injected a fault")
+	}
+}

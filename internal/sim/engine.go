@@ -1,0 +1,833 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mcmap/internal/core"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Dropped is the dropped application set T_d detached when the system
+	// enters the critical state.
+	Dropped core.DropSet
+	// Horizon is the number of hyperperiods to simulate (default 1).
+	Horizon int
+	// Faults is the fault-injection model (default NoFaults).
+	Faults FaultModel
+	// Exec is the execution-time model (default WCETExec).
+	Exec ExecModel
+	// ForceCritical starts the run in the critical state and never
+	// restores: dropped applications are never released. This realizes
+	// the paper's Adhoc trace ("the system enters the critical state at
+	// the beginning of the hyperperiod").
+	ForceCritical bool
+	// RecordTrace captures execution segments for Gantt rendering.
+	RecordTrace bool
+}
+
+func (c Config) horizon() int {
+	if c.Horizon > 0 {
+		return c.Horizon
+	}
+	return 1
+}
+
+func (c Config) faults() FaultModel {
+	if c.Faults != nil {
+		return c.Faults
+	}
+	return NoFaults{}
+}
+
+func (c Config) exec() ExecModel {
+	if c.Exec != nil {
+		return c.Exec
+	}
+	return WCETExec{}
+}
+
+// RunResult aggregates one simulation run.
+type RunResult struct {
+	// GraphWCRT is the maximum observed response time per graph
+	// (0 when no instance of the graph completed).
+	GraphWCRT []model.Time
+	// GraphResponses lists the response time of every completed instance
+	// per graph.
+	GraphResponses [][]model.Time
+	// DeadlineMisses counts completed instances that finished after their
+	// deadline.
+	DeadlineMisses int
+	// CriticalEntries counts transitions into the critical state.
+	CriticalEntries int
+	// DroppedInstances counts application instances suppressed or
+	// cancelled by task dropping.
+	DroppedInstances int
+	// Unsafe counts executions whose fault was not masked: unhardened
+	// faulty tasks, re-executions that exhausted their budget and voters
+	// without a correct majority.
+	Unsafe int
+	// Trace is non-nil when Config.RecordTrace was set.
+	Trace *Trace
+}
+
+// MaxResponseOf returns the observed WCRT of the named graph.
+func (r *RunResult) MaxResponseOf(sys *platform.System, name string) model.Time {
+	gi := sys.GraphIndex(name)
+	if gi < 0 {
+		return 0
+	}
+	return r.GraphWCRT[gi]
+}
+
+// ---------------------------------------------------------------------------
+
+type jobState int
+
+const (
+	jsWaiting jobState = iota // inputs pending
+	jsDormant                 // passive replica, not activated
+	jsReady
+	jsRunning
+	jsDone
+	jsCancelled
+)
+
+// jobKey addresses one job: a compiled node (already one node per job in
+// the hyperperiod) plus the hyperperiod iteration of the run.
+type jobKey struct {
+	node platform.NodeID
+	hp   int
+}
+
+// instKey addresses one graph instance: graph index plus global instance
+// number (hp * instancesPerHyperperiod + withinHpInstance).
+type instKey struct {
+	graph int
+	inst  int
+}
+
+type job struct {
+	node *platform.Node
+	// hp is the hyperperiod iteration; globalInst the global instance
+	// index of the owning graph instance.
+	hp         int
+	globalInst int
+	release    model.Time
+	state      jobState
+
+	missingInputs   int // voter: active inputs only
+	awaitingPassive int // voter: passive results still pending
+	activeBad       int // voter: faulty active results
+	resultsGood     int // voter tallies (actives + activated passives)
+	resultsBad      int
+	passivesCalled  bool
+	activated       bool // passive replica invoked by its voter
+
+	attempt     int
+	rawExec     model.Time // current attempt's raw execution time
+	remaining   model.Time
+	everStarted bool
+	start       model.Time
+	finish      model.Time
+	faulty      bool
+
+	heapIdx int
+}
+
+// ---------------------------------------------------------------------------
+
+type eventKind int
+
+const (
+	evRelease eventKind = iota
+	evArrival
+	evBusDone
+)
+
+type event struct {
+	t    model.Time
+	seq  int
+	kind eventKind
+	// Release payload.
+	graph int
+	inst  int // instance within the hyperperiod
+	hp    int // hyperperiod iteration
+	// Arrival payload.
+	to           *job
+	faulty       bool
+	fromPassive  bool
+	fromDispatch bool
+	// BusDone payload.
+	domain int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) peekTime() (model.Time, bool) {
+	if len(q) == 0 {
+		return 0, false
+	}
+	return q[0].t, true
+}
+
+// readyQueue orders ready jobs by priority (then instance, then node ID for
+// determinism).
+type readyQueue []*job
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.node.Priority != b.node.Priority {
+		return a.node.Priority < b.node.Priority
+	}
+	if a.hp != b.hp {
+		return a.hp < b.hp
+	}
+	return a.node.ID < b.node.ID
+}
+func (q readyQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+func (q *readyQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	j.heapIdx = -1
+	*q = old[:n-1]
+	return j
+}
+
+type proc struct {
+	id       model.ProcID
+	rec      *model.Processor
+	ready    readyQueue
+	running  *job
+	runStart model.Time
+}
+
+// busMsg is one queued fabric message.
+type busMsg struct {
+	to          *job
+	faulty      bool
+	fromPassive bool
+	fromDisp    bool
+	delay       model.Time
+	prio        int
+	seq         int
+}
+
+// busState is one fabric contention domain (the whole bus, or one
+// crossbar destination port): messages are served one at a time,
+// non-preemptively, highest sender priority first.
+type busState struct {
+	queue []busMsg
+	busy  bool
+}
+
+func (b *busState) push(m busMsg) {
+	b.queue = append(b.queue, m)
+	// Insertion sort by (priority, seq): queues are short.
+	for i := len(b.queue) - 1; i > 0; i-- {
+		a, c := b.queue[i-1], b.queue[i]
+		if c.prio < a.prio || (c.prio == a.prio && c.seq < a.seq) {
+			b.queue[i-1], b.queue[i] = c, a
+		} else {
+			break
+		}
+	}
+}
+
+func (b *busState) pop() (busMsg, bool) {
+	if len(b.queue) == 0 {
+		return busMsg{}, false
+	}
+	m := b.queue[0]
+	b.queue = b.queue[1:]
+	return m, true
+}
+
+// head returns the highest-priority ready, non-cancelled job without
+// popping it (cancelled entries are discarded on the way).
+func (p *proc) head() *job {
+	for len(p.ready) > 0 {
+		j := p.ready[0]
+		if j.state == jsCancelled {
+			heap.Pop(&p.ready)
+			continue
+		}
+		return j
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+type engine struct {
+	sys *platform.System
+	cfg Config
+	now model.Time
+	seq int
+
+	events eventQueue
+	jobs   map[jobKey]*job
+	procs  map[model.ProcID]*proc
+	// procList is the deterministic iteration order (architecture
+	// declaration order); map iteration would make tie-breaking at equal
+	// instants depend on hash order.
+	procList []*proc
+
+	critical      bool
+	criticalUntil model.Time
+
+	instSinkLeft  map[instKey]int
+	instMaxFinish map[instKey]model.Time
+	instDropped   map[instKey]bool
+
+	// Fabric arbitration (shared bus / crossbar): one contention domain
+	// serves messages non-preemptively in sender-priority order. nil when
+	// the fabric is contention-free.
+	buses map[int]*busState
+
+	// passiveSiblings[i] is true when node i is an active replica whose
+	// original task also has passive replicas.
+	passiveSiblings []bool
+	// voterPassiveIns[i] counts the passive-replica inputs of voter i.
+	voterPassiveIns []int
+
+	res *RunResult
+}
+
+// Run simulates the compiled system under cfg and returns the aggregated
+// result. Runs are deterministic for deterministic models.
+func Run(sys *platform.System, cfg Config) (*RunResult, error) {
+	if err := cfg.Dropped.Validate(sys.Apps); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		sys:           sys,
+		cfg:           cfg,
+		jobs:          make(map[jobKey]*job),
+		procs:         make(map[model.ProcID]*proc),
+		instSinkLeft:  make(map[instKey]int),
+		instMaxFinish: make(map[instKey]model.Time),
+		instDropped:   make(map[instKey]bool),
+		res: &RunResult{
+			GraphWCRT:      make([]model.Time, len(sys.Apps.Graphs)),
+			GraphResponses: make([][]model.Time, len(sys.Apps.Graphs)),
+		},
+	}
+	if cfg.RecordTrace {
+		e.res.Trace = NewTrace(sys)
+	}
+	if cfg.ForceCritical {
+		e.critical = true
+		e.criticalUntil = model.Infinity
+	}
+	if sys.Arch.Fabric.Arbitrated() {
+		e.buses = make(map[int]*busState)
+	}
+	for i := range sys.Arch.Procs {
+		p := &sys.Arch.Procs[i]
+		ps := &proc{id: p.ID, rec: p}
+		e.procs[p.ID] = ps
+		e.procList = append(e.procList, ps)
+	}
+	e.classifyReplicas()
+
+	// Schedule all releases inside the horizon: one per graph instance
+	// per hyperperiod iteration.
+	for hp := 0; hp < cfg.horizon(); hp++ {
+		base := model.Time(hp) * sys.Hyperperiod
+		for gi, g := range sys.Apps.Graphs {
+			for k := range sys.GraphInstances[gi] {
+				t := base + model.Time(k)*g.Period
+				e.push(&event{t: t, kind: evRelease, graph: gi, inst: k, hp: hp})
+			}
+		}
+	}
+
+	// Main loop.
+	for guard := 0; ; guard++ {
+		if guard > 50_000_000 {
+			return nil, fmt.Errorf("sim: event budget exceeded (livelock?)")
+		}
+		t, ok := e.nextTime()
+		if !ok {
+			break
+		}
+		e.now = t
+		e.completeFinished()
+		e.drainEventsAt(t)
+		e.dispatchAll()
+	}
+	return e.res, nil
+}
+
+func (e *engine) classifyReplicas() {
+	e.passiveSiblings = make([]bool, len(e.sys.Nodes))
+	e.voterPassiveIns = make([]int, len(e.sys.Nodes))
+	// Group replicas by their origin task.
+	type group struct{ active, passive []platform.NodeID }
+	groups := make(map[model.TaskID]*group)
+	for _, n := range e.sys.Nodes {
+		if n.Task.Kind != model.KindReplica {
+			continue
+		}
+		g := groups[n.Task.Origin]
+		if g == nil {
+			g = &group{}
+			groups[n.Task.Origin] = g
+		}
+		if n.Task.Passive {
+			g.passive = append(g.passive, n.ID)
+		} else {
+			g.active = append(g.active, n.ID)
+		}
+	}
+	for _, g := range groups {
+		if len(g.passive) == 0 {
+			continue
+		}
+		for _, id := range g.active {
+			e.passiveSiblings[id] = true
+		}
+	}
+	for _, n := range e.sys.Nodes {
+		if n.Task.Kind != model.KindVoter {
+			continue
+		}
+		for _, in := range n.In {
+			if e.sys.Nodes[in.From].Task.Passive {
+				e.voterPassiveIns[n.ID]++
+			}
+		}
+	}
+}
+
+func (e *engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// nextTime returns the next instant at which something happens.
+func (e *engine) nextTime() (model.Time, bool) {
+	t, ok := e.events.peekTime()
+	for _, p := range e.procList {
+		if p.running != nil {
+			fin := p.runStart + p.running.remaining
+			if !ok || fin < t {
+				t, ok = fin, true
+			}
+		}
+	}
+	return t, ok
+}
+
+// completeFinished finishes every running job whose completion instant is
+// now.
+func (e *engine) completeFinished() {
+	for _, p := range e.procList {
+		j := p.running
+		if j != nil && p.runStart+j.remaining == e.now {
+			p.running = nil
+			e.completeAttempt(j, p.runStart)
+		}
+	}
+}
+
+func (e *engine) drainEventsAt(t model.Time) {
+	for {
+		if tt, ok := e.events.peekTime(); !ok || tt != t {
+			return
+		}
+		ev := heap.Pop(&e.events).(*event)
+		switch ev.kind {
+		case evRelease:
+			e.handleRelease(ev.graph, ev.inst, ev.hp)
+		case evArrival:
+			e.handleArrival(ev.to, ev.faulty, ev.fromPassive, ev.fromDispatch)
+		case evBusDone:
+			e.handleArrival(ev.to, ev.faulty, ev.fromPassive, ev.fromDispatch)
+			e.handleBusDone(ev.domain)
+		}
+		// Zero-delay chains: completions may have queued new dispatches
+		// that finish instantly; those are handled by the outer loop
+		// revisiting the same instant.
+	}
+}
+
+func (e *engine) handleRelease(gi, k, hp int) {
+	g := e.sys.Apps.Graphs[gi]
+	globalInst := hp*len(e.sys.GraphInstances[gi]) + k
+	key := instKey{graph: gi, inst: globalInst}
+	if e.cfg.Dropped[g.Name] && e.inCritical() {
+		e.res.DroppedInstances++
+		e.instDropped[key] = true
+		return
+	}
+	sinks := 0
+	for _, nid := range e.sys.GraphInstances[gi][k] {
+		n := e.sys.Nodes[nid]
+		j := &job{node: n, hp: hp, globalInst: globalInst, release: e.now, heapIdx: -1}
+		if n.Task.Kind == model.KindVoter {
+			j.missingInputs = len(n.In) - e.voterPassiveIns[nid]
+		} else {
+			j.missingInputs = len(n.In)
+		}
+		switch {
+		case n.Task.Passive:
+			j.state = jsDormant
+		case j.missingInputs == 0:
+			j.state = jsReady
+		default:
+			j.state = jsWaiting
+		}
+		e.jobs[jobKey{node: nid, hp: hp}] = j
+		if j.state == jsReady {
+			e.makeReady(j)
+		}
+		if len(n.Out) == 0 {
+			sinks++
+		}
+	}
+	e.instSinkLeft[key] = sinks
+	e.instMaxFinish[key] = 0
+}
+
+func (e *engine) inCritical() bool {
+	return e.critical && e.now < e.criticalUntil
+}
+
+func (e *engine) makeReady(j *job) {
+	if j.state == jsCancelled || j.state == jsDone {
+		return
+	}
+	if j.attempt == 0 && j.rawExec == 0 && j.remaining == 0 {
+		e.setAttemptCost(j)
+	}
+	if j.remaining == 0 {
+		// Zero-time jobs (voters with ve=0, dispatch steps, zero-wcet
+		// tasks) complete instantaneously upon readiness: they consume no
+		// processor time, and both the analysis and the run-time protocol
+		// treat them as timeless. Routing them through the ready queue
+		// would charge them scheduling delay the analysis (soundly)
+		// excludes for zero-demand jobs.
+		j.state = jsRunning
+		j.everStarted = true
+		j.start = e.now
+		e.completeAttempt(j, e.now)
+		return
+	}
+	j.state = jsReady
+	p := e.procs[j.node.Proc]
+	heap.Push(&p.ready, j)
+}
+
+func (e *engine) setAttemptCost(j *job) {
+	raw := e.cfg.exec().ExecTime(j.node, j.globalInst, j.attempt)
+	j.rawExec = raw
+	j.remaining = raw
+	if j.node.Task.ReExecutable() {
+		j.remaining += j.node.DetectOverhead
+	}
+}
+
+func (e *engine) handleArrival(j *job, faulty, fromPassive, fromDispatch bool) {
+	if j == nil || j.state == jsCancelled || j.state == jsDone {
+		return
+	}
+	if j.node.Task.Kind == model.KindVoter {
+		e.voterArrival(j, faulty, fromPassive)
+		return
+	}
+	if j.node.Task.Kind == model.KindDispatch && faulty {
+		// The dispatch step records active-result mismatches; it will
+		// trigger the invocation on completion.
+		j.activeBad++
+	}
+	if fromDispatch && faulty && j.node.Task.Passive {
+		// Invocation signal from the dispatch step: the voter requested a
+		// tie-break execution.
+		j.activated = true
+	}
+	j.missingInputs--
+	if j.missingInputs > 0 {
+		return
+	}
+	if j.node.Task.Passive && !j.activated {
+		return // dormant until the dispatch signal activates it
+	}
+	if j.state == jsWaiting || j.state == jsDormant {
+		e.makeReady(j)
+	}
+}
+
+func (e *engine) voterArrival(j *job, faulty, fromPassive bool) {
+	if faulty {
+		j.resultsBad++
+	} else {
+		j.resultsGood++
+	}
+	if fromPassive {
+		if j.awaitingPassive > 0 {
+			j.awaitingPassive--
+			if j.awaitingPassive == 0 && j.missingInputs == 0 {
+				e.makeReady(j)
+			}
+		}
+		return
+	}
+	if faulty {
+		j.activeBad++
+	}
+	j.missingInputs--
+	if j.missingInputs > 0 {
+		return
+	}
+	// All active results in. A mismatch with available passive replicas
+	// means the tie-break executions are on their way (the dispatch step
+	// invokes them); the voter waits for their results.
+	if j.activeBad > 0 && e.voterPassiveIns[j.node.ID] > 0 && !j.passivesCalled {
+		j.passivesCalled = true
+		j.awaitingPassive = e.voterPassiveIns[j.node.ID]
+		return
+	}
+	e.makeReady(j)
+}
+
+// enterCritical switches the system to the critical state (idempotent
+// inside one window): droppable applications in the drop set are detached
+// until the end of the current hyperperiod.
+func (e *engine) enterCritical() {
+	if e.inCritical() {
+		return
+	}
+	e.critical = true
+	e.criticalUntil = (e.now/e.sys.Hyperperiod + 1) * e.sys.Hyperperiod
+	e.res.CriticalEntries++
+	// Cancel every not-yet-started job of a dropped application.
+	for _, j := range e.jobs {
+		if j.state == jsDone || j.state == jsCancelled || j.everStarted {
+			continue
+		}
+		if !e.cfg.Dropped[j.node.Graph.Name] {
+			continue
+		}
+		j.state = jsCancelled
+		ik := instKey{graph: j.node.GraphIdx, inst: j.globalInst}
+		if !e.instDropped[ik] {
+			e.instDropped[ik] = true
+			e.res.DroppedInstances++
+		}
+	}
+}
+
+func (e *engine) completeAttempt(j *job, segStart model.Time) {
+	p := e.procs[j.node.Proc]
+	ctx := AttemptCtx{
+		Node:               j.node,
+		Proc:               p.rec,
+		Instance:           j.globalInst,
+		Attempt:            j.attempt,
+		Exec:               j.rawExec,
+		HasPassiveSiblings: e.passiveSiblings[j.node.ID],
+	}
+	faulty := e.cfg.faults().Faulty(ctx)
+	if e.res.Trace != nil {
+		e.res.Trace.Add(Segment{Node: j.node.ID, Inst: j.globalInst, Attempt: j.attempt, Proc: p.id, Start: segStart, End: e.now})
+	}
+	if j.node.Task.ReExecutable() && faulty && j.attempt < j.node.Task.ReExec {
+		// Detected fault: roll back and re-execute; the state change is
+		// triggered as soon as the nominal wcet+dt is exceeded.
+		e.enterCritical()
+		j.attempt++
+		e.setAttemptCost(j)
+		if j.remaining == 0 {
+			e.completeAttempt(j, e.now)
+			return
+		}
+		j.state = jsReady
+		heap.Push(&p.ready, j)
+		return
+	}
+	j.state = jsDone
+	j.finish = e.now
+	j.faulty = faulty
+	if j.node.Task.Kind == model.KindDispatch && j.activeBad > 0 {
+		// Mismatch among the active results: the tie-break invocation is
+		// the state-change trigger (Section 3).
+		e.enterCritical()
+	}
+	if faulty {
+		switch {
+		case j.node.Task.ReExecutable():
+			// Fault on the final permitted attempt: budget exhausted.
+			e.res.Unsafe++
+		case j.node.Task.Kind == model.KindRegular:
+			// Unhardened task: the fault goes undetected.
+			e.res.Unsafe++
+		}
+	}
+	if j.node.Task.Kind == model.KindVoter {
+		// Majority vote over the delivered results; ties and faulty
+		// majorities are unsafe. A two-replica voter can only detect.
+		if !(j.resultsGood > j.resultsBad) {
+			e.res.Unsafe++
+		}
+	}
+	// Deliver outputs: local and contention-free messages fly directly;
+	// arbitrated fabrics queue cross-processor messages on their
+	// contention domain.
+	for _, out := range j.node.Out {
+		dst := e.jobs[jobKey{node: out.To, hp: j.hp}]
+		m := busMsg{
+			to: dst, faulty: e.outputFaulty(j),
+			fromPassive: j.node.Task.Passive,
+			fromDisp:    j.node.Task.Kind == model.KindDispatch,
+			delay:       out.Delay,
+			prio:        j.node.Priority,
+		}
+		if e.buses == nil || out.Delay == 0 {
+			e.push(&event{
+				t: e.now + out.Delay, kind: evArrival,
+				to: m.to, faulty: m.faulty,
+				fromPassive: m.fromPassive, fromDispatch: m.fromDisp,
+			})
+			continue
+		}
+		domain := 0
+		if e.sys.Arch.Fabric.EffectiveKind() == model.FabricCrossbar {
+			domain = int(e.sys.Nodes[out.To].Proc) + 1
+		}
+		bus := e.buses[domain]
+		if bus == nil {
+			bus = &busState{}
+			e.buses[domain] = bus
+		}
+		m.seq = e.seq
+		bus.push(m)
+		e.serveBus(domain, bus)
+	}
+	// Sink accounting.
+	if len(j.node.Out) == 0 {
+		key := instKey{graph: j.node.GraphIdx, inst: j.globalInst}
+		if !e.instDropped[key] {
+			if fin := e.now; fin > e.instMaxFinish[key] {
+				e.instMaxFinish[key] = fin
+			}
+			e.instSinkLeft[key]--
+			if e.instSinkLeft[key] == 0 {
+				resp := e.instMaxFinish[key] - j.release
+				gi := j.node.GraphIdx
+				e.res.GraphResponses[gi] = append(e.res.GraphResponses[gi], resp)
+				if resp > e.res.GraphWCRT[gi] {
+					e.res.GraphWCRT[gi] = resp
+				}
+				if resp > j.node.Graph.EffectiveDeadline() {
+					e.res.DeadlineMisses++
+				}
+			}
+		}
+	}
+}
+
+// outputFaulty is the fault flag carried by a completed job's messages:
+// voters emit their voted result, other tasks emit their own fault state.
+func (e *engine) outputFaulty(j *job) bool {
+	switch j.node.Task.Kind {
+	case model.KindVoter:
+		return !(j.resultsGood > j.resultsBad)
+	case model.KindDispatch:
+		// The dispatch output doubles as the invocation signal: "faulty"
+		// means "mismatch detected, tie-break requested".
+		return j.activeBad > 0
+	default:
+		return j.faulty
+	}
+}
+
+// serveBus starts transmitting the head message when the domain is idle.
+func (e *engine) serveBus(domain int, bus *busState) {
+	if bus.busy {
+		return
+	}
+	m, ok := bus.pop()
+	if !ok {
+		return
+	}
+	bus.busy = true
+	e.push(&event{t: e.now + m.delay, kind: evBusDone, domain: domain,
+		to: m.to, faulty: m.faulty, fromPassive: m.fromPassive, fromDispatch: m.fromDisp})
+}
+
+// handleBusDone delivers the transmitted message and frees the domain.
+func (e *engine) handleBusDone(domain int) {
+	bus := e.buses[domain]
+	bus.busy = false
+	e.serveBus(domain, bus)
+}
+
+func (e *engine) dispatchAll() {
+	for _, p := range e.procList {
+		e.dispatch(p)
+	}
+}
+
+func (e *engine) dispatch(p *proc) {
+	head := p.head()
+	if head == nil {
+		return
+	}
+	if p.running == nil {
+		e.startJob(p, heap.Pop(&p.ready).(*job))
+		return
+	}
+	if p.running.node.NonPreemptive {
+		return // started jobs run to completion on this processor
+	}
+	if head.node.Priority < p.running.node.Priority {
+		// Preempt.
+		prev := p.running
+		elapsed := e.now - p.runStart
+		prev.remaining -= elapsed
+		if e.res.Trace != nil && elapsed > 0 {
+			e.res.Trace.Add(Segment{Node: prev.node.ID, Inst: prev.globalInst, Attempt: prev.attempt, Proc: p.id, Start: p.runStart, End: e.now, Preempted: true})
+		}
+		prev.state = jsReady
+		heap.Push(&p.ready, prev)
+		p.running = nil
+		e.startJob(p, heap.Pop(&p.ready).(*job))
+	}
+}
+
+func (e *engine) startJob(p *proc, j *job) {
+	j.state = jsRunning
+	if !j.everStarted {
+		j.everStarted = true
+		j.start = e.now
+	}
+	p.running = j
+	p.runStart = e.now
+}

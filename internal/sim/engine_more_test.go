@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+)
+
+// TestWorkConservation: the total traced busy time equals the work
+// actually executed — no processor time is lost or double-counted.
+func TestWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		sys, dropped := randomSystem(t, rng)
+		res, err := Run(sys, Config{Dropped: dropped, RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var traced model.Time
+		for _, s := range res.Trace.Segments {
+			traced += s.End - s.Start
+		}
+		// Reconstruct executed work from completions: fault-free WCET run
+		// per executed job. With NoFaults, every released non-cancelled
+		// job runs exactly once at WCET (plus detection overhead for
+		// re-executable tasks). Dormant passive replicas never run.
+		var expected model.Time
+		for _, n := range sys.Nodes {
+			if n.Task.Passive {
+				continue // never invoked without faults
+			}
+			if dropped[n.Graph.Name] && res.CriticalEntries > 0 {
+				continue // may have been cancelled; covered below
+			}
+			c := n.WCET
+			if n.Task.ReExecutable() {
+				c += n.DetectOverhead
+			}
+			expected += c
+		}
+		if res.CriticalEntries == 0 && traced != expected {
+			t.Fatalf("trial %d: traced busy %v != executed work %v", trial, traced, expected)
+		}
+	}
+}
+
+// TestDuplicationDetectsButCannotCorrect: a 2-replica voter flags a
+// single replica fault as unsafe (detection without correction).
+func TestDuplicationDetectsButCannotCorrect(t *testing.T) {
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	g.AddTask("v", 10, 10, 2, 0)
+	man, err := hardening.Apply(model.NewAppSet(g), hardening.Plan{
+		"g/v": {Technique: hardening.ActiveReplication, Replicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := compile(t, arch(2), man.Apps, model.Mapping{
+		"g/v#r0": 0, "g/v#r1": 1, "g/v#v": 0,
+	})
+	pf := &ProfileFaults{Hits: map[FaultCoord]bool{{Task: "g/v#r0", Instance: 0, Attempt: 0}: true}}
+	res := mustRun(t, sys, Config{Faults: pf})
+	if res.Unsafe != 1 {
+		t.Errorf("unsafe = %d, want 1 (duplication cannot correct)", res.Unsafe)
+	}
+	// No fault: safe.
+	clean := mustRun(t, sys, Config{})
+	if clean.Unsafe != 0 {
+		t.Errorf("clean unsafe = %d", clean.Unsafe)
+	}
+}
+
+// TestDroppingRestoreAcrossThreeHyperperiods: a fault in hyperperiod 0
+// drops the soft app for the rest of that hyperperiod only; instances in
+// hyperperiods 1 and 2 complete.
+func TestDroppingRestoreAcrossThreeHyperperiods(t *testing.T) {
+	crit := model.NewTaskGraph("crit", 100).SetCritical(1e-9)
+	a := crit.AddTask("a", 10, 10, 0, 2)
+	a.ReExec = 1
+	soft := model.NewTaskGraph("soft", 50).SetService(1)
+	soft.AddTask("s", 5, 5, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(crit, soft), model.Mapping{"crit/a": 0, "soft/s": 0})
+	pf := &ProfileFaults{Hits: map[FaultCoord]bool{{Task: "crit/a", Instance: 0, Attempt: 0}: true}}
+	res := mustRun(t, sys, Config{Dropped: core.DropSet{"soft": true}, Faults: pf, Horizon: 3})
+	// soft releases 6 instances (2 per hyperperiod). The fault at ~17
+	// cancels instance 1 of hyperperiod 0 (instance 0 already done at 5);
+	// hyperperiods 1 and 2 run normally.
+	if got := len(res.GraphResponses[1]); got != 5 {
+		t.Errorf("soft completed %d instances, want 5", got)
+	}
+	if res.DroppedInstances != 1 {
+		t.Errorf("dropped instances = %d, want 1", res.DroppedInstances)
+	}
+	if res.CriticalEntries != 1 {
+		t.Errorf("critical entries = %d, want 1", res.CriticalEntries)
+	}
+}
+
+// TestRandomExecWithinBounds: the random execution model always draws
+// within [BCET, WCET].
+func TestRandomExecWithinBounds(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 10, 50, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(g), model.Mapping{"g/a": 0})
+	n := sys.Node("g/a")
+	m := NewRandomExec(9)
+	for i := 0; i < 200; i++ {
+		c := m.ExecTime(n, i, 0)
+		if c < 10 || c > 50 {
+			t.Fatalf("draw %v outside [10,50]", c)
+		}
+	}
+	// Degenerate interval.
+	g2 := model.NewTaskGraph("h", 100).SetCritical(1e-9)
+	g2.AddTask("b", 7, 7, 0, 0)
+	sys2 := compile(t, arch(1), model.NewAppSet(g2), model.Mapping{"h/b": 0})
+	if c := m.ExecTime(sys2.Node("h/b"), 0, 0); c != 7 {
+		t.Errorf("degenerate draw = %v", c)
+	}
+}
+
+// TestAutoFaultScale: the calibrated scale yields roughly one expected
+// fault per hyperperiod.
+func TestAutoFaultScale(t *testing.T) {
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	g.AddTask("a", 100, 100, 0, 0)
+	a := arch(1)
+	a.Procs[0].FaultRate = 1e-6
+	sys := compile(t, a, model.NewAppSet(g), model.Mapping{"g/a": 0})
+	scale := AutoFaultScale(sys)
+	// expected = 1e-6 * 100 * 1 = 1e-4; scale = 1e4.
+	if scale < 9999 || scale > 10001 {
+		t.Errorf("scale = %v, want ~1e4", scale)
+	}
+	// A system with no fault rates keeps scale 1.
+	b := arch(1)
+	b.Procs[0].FaultRate = 0
+	sys2 := compile(t, b, model.NewAppSet(g), model.Mapping{"g/a": 0})
+	if AutoFaultScale(sys2) != 1 {
+		t.Error("zero-rate scale should be 1")
+	}
+}
+
+// TestWorstFaultsForcesMaximalBehaviour: every re-executable task runs
+// k+1 attempts and every passive replica is invoked.
+func TestWorstFaultsForcesMaximalBehaviour(t *testing.T) {
+	g := model.NewTaskGraph("g", 1000).SetCritical(1e-9)
+	r := g.AddTask("r", 5, 5, 0, 1)
+	r.ReExec = 2
+	g.AddTask("p", 7, 7, 1, 0)
+	g.AddChannel("r", "p", 0)
+	man, err := hardening.Apply(model.NewAppSet(g), hardening.Plan{
+		"g/p": {Technique: hardening.PassiveReplication, Replicas: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := compile(t, arch(3), man.Apps, model.Mapping{
+		"g/r": 0, "g/p#r0": 0, "g/p#r1": 1, "g/p#r2": 2, "g/p#v": 1, "g/p#d": 1,
+	})
+	res := mustRun(t, sys, Config{Faults: WorstFaults{}, RecordTrace: true})
+	attempts := map[string]int{}
+	passiveRan := false
+	for _, s := range res.Trace.Segments {
+		id := string(sys.Nodes[s.Node].Task.ID)
+		if s.Attempt+1 > attempts[id] {
+			attempts[id] = s.Attempt + 1
+		}
+		if sys.Nodes[s.Node].Task.Passive && s.End > s.Start {
+			passiveRan = true
+		}
+	}
+	if attempts["g/r"] != 3 {
+		t.Errorf("re-exec attempts = %d, want 3", attempts["g/r"])
+	}
+	if !passiveRan {
+		t.Error("passive replica not invoked under WorstFaults")
+	}
+	if res.Unsafe != 0 {
+		t.Errorf("WorstFaults must exercise timing, not break results: unsafe=%d", res.Unsafe)
+	}
+}
+
+// TestGraphResponsesPerInstance: multi-rate graphs report one response
+// per completed instance with sane values.
+func TestGraphResponsesPerInstance(t *testing.T) {
+	fast := model.NewTaskGraph("fast", 25).SetCritical(1e-9)
+	fast.AddTask("f", 3, 3, 0, 0)
+	slow := model.NewTaskGraph("slow", 100).SetCritical(1e-9)
+	slow.AddTask("s", 10, 10, 0, 0)
+	sys := compile(t, arch(1), model.NewAppSet(fast, slow), model.Mapping{"fast/f": 0, "slow/s": 0})
+	res := mustRun(t, sys, Config{})
+	if got := len(res.GraphResponses[0]); got != 4 {
+		t.Errorf("fast instances = %d, want 4", got)
+	}
+	for _, r := range res.GraphResponses[0] {
+		if r < 3 || r > 25 {
+			t.Errorf("fast response %v out of range", r)
+		}
+	}
+}

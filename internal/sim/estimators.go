@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcmap/internal/core"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// Adhoc is the trace-based estimator of Section 5.1: "the system enters
+// the critical state at the beginning of the hyperperiod, all
+// re-executable tasks being (maximally) re-executed with wcet' from (1)
+// and all droppable tasks being dropped from the beginning". It is a
+// plausible-looking worst case but NOT safe — the paper shows it can
+// undershoot simulation due to scheduling anomalies.
+type Adhoc struct {
+	// Horizon in hyperperiods (default 1).
+	Horizon int
+}
+
+// Name implements core.Estimator.
+func (Adhoc) Name() string { return "Adhoc" }
+
+// GraphWCRTs implements core.Estimator.
+func (a Adhoc) GraphWCRTs(sys *platform.System, dropped core.DropSet) ([]model.Time, error) {
+	res, err := Run(sys, Config{
+		Dropped:       dropped,
+		Horizon:       a.Horizon,
+		Faults:        WorstFaults{},
+		Exec:          WCETExec{},
+		ForceCritical: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.GraphWCRT, nil
+}
+
+// WCSim is the Monte-Carlo estimator of Section 5.1: the system is
+// simulated under Runs different random failure profiles and the maximum
+// observed response time per graph is reported. The paper uses 10,000
+// profiles. Like every simulation-based estimate it is a lower bound on
+// the true WCRT.
+type WCSim struct {
+	// Runs is the number of failure profiles (default 10000).
+	Runs int
+	// Seed makes the profile sequence deterministic.
+	Seed int64
+	// Scale exaggerates the physical fault rates so that rare faults are
+	// actually exercised; <= 0 selects auto-calibration targeting about
+	// one fault per hyperperiod on average.
+	Scale float64
+	// RandomExecTimes additionally randomizes execution times in
+	// [bcet, wcet] (the paper randomizes failure profiles only).
+	RandomExecTimes bool
+	// Horizon in hyperperiods per run (default 1).
+	Horizon int
+}
+
+// Name implements core.Estimator.
+func (WCSim) Name() string { return "WC-Sim" }
+
+// GraphWCRTs implements core.Estimator.
+func (w WCSim) GraphWCRTs(sys *platform.System, dropped core.DropSet) ([]model.Time, error) {
+	runs := w.Runs
+	if runs <= 0 {
+		runs = 10000
+	}
+	scale := w.Scale
+	if scale <= 0 {
+		scale = AutoFaultScale(sys)
+	}
+	worst := make([]model.Time, len(sys.Apps.Graphs))
+	for r := 0; r < runs; r++ {
+		cfg := Config{
+			Dropped: dropped,
+			Horizon: w.Horizon,
+			Faults:  NewRandomFaults(w.Seed+int64(r), scale),
+			Exec:    WCETExec{},
+		}
+		if w.RandomExecTimes {
+			cfg.Exec = NewRandomExec(w.Seed + int64(r) + 7919)
+		}
+		res, err := Run(sys, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: run %d: %w", r, err)
+		}
+		for gi, v := range res.GraphWCRT {
+			if v > worst[gi] {
+				worst[gi] = v
+			}
+		}
+	}
+	return worst, nil
+}
+
+// AutoFaultScale returns the rate-exaggeration factor that makes the
+// expected number of faults per hyperperiod roughly one, so Monte-Carlo
+// runs actually exercise re-execution and passive invocation.
+func AutoFaultScale(sys *platform.System) float64 {
+	var expected float64
+	for _, n := range sys.Nodes {
+		p := sys.Arch.Proc(n.Proc)
+		if p == nil || p.FaultRate <= 0 {
+			continue
+		}
+		jobs := float64(sys.Hyperperiod / n.Period)
+		expected += p.FaultRate * float64(n.NominalWCET()) * jobs
+	}
+	if expected <= 0 {
+		return 1
+	}
+	return 1 / expected
+}
+
+var (
+	_ core.Estimator = Adhoc{}
+	_ core.Estimator = WCSim{}
+)

@@ -1,0 +1,168 @@
+// Package sim is a discrete-event simulator for the compiled MPSoC: each
+// processor schedules its ready jobs preemptively by fixed priority,
+// messages travel over the fabric with their compiled delays, transient
+// faults are injected by a pluggable fault model, and the run-time
+// mixed-criticality protocol of Section 3 is executed faithfully: the
+// first re-execution or passive-replica invocation switches the system to
+// the critical state, the dropped applications are detached until the end
+// of the hyperperiod, and the system then returns to the normal state.
+//
+// The simulator provides the WC-Sim (Monte-Carlo) and Adhoc rows of
+// Table 2 and doubles as a test oracle for the analytical bounds.
+//
+// Arbitrated fabrics (shared bus, crossbar) are simulated with
+// non-preemptive sender-priority message arbitration, matching the
+// analysis model; ideal and mesh fabrics deliver messages after their
+// contention-free transfer delay. Faults on the fabric are assumed
+// transparently handled (paper Section 2.1).
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// AttemptCtx describes one execution attempt to the fault model.
+type AttemptCtx struct {
+	Node *platform.Node
+	// Proc is the processor hosting the job.
+	Proc *model.Processor
+	// Instance is the graph instance index (job number within the run).
+	Instance int
+	// Attempt is the 0-based execution attempt (re-executions increment).
+	Attempt int
+	// Exec is the raw execution time of this attempt.
+	Exec model.Time
+	// HasPassiveSiblings is true for active replicas of passively
+	// replicated tasks (a fault here forces passive invocation).
+	HasPassiveSiblings bool
+}
+
+// FaultModel decides whether one execution attempt of a job suffers a
+// transient fault.
+type FaultModel interface {
+	Faulty(ctx AttemptCtx) bool
+}
+
+// ExecModel chooses the raw execution time of one attempt (excluding
+// detection overheads, which the engine adds for re-executable tasks).
+type ExecModel interface {
+	ExecTime(n *platform.Node, instance, attempt int) model.Time
+}
+
+// NoFaults injects nothing.
+type NoFaults struct{}
+
+// Faulty implements FaultModel.
+func (NoFaults) Faulty(AttemptCtx) bool { return false }
+
+// RandomFaults injects faults with probability 1 - exp(-lambda_p * exec *
+// Scale) per attempt, where lambda_p is the fault rate of the processor
+// hosting the job. Scale (default 1) exaggerates rates so that
+// Monte-Carlo runs exercise rare paths.
+type RandomFaults struct {
+	Rng   *rand.Rand
+	Scale float64
+}
+
+// NewRandomFaults builds a deterministic RandomFaults from a seed.
+func NewRandomFaults(seed int64, scale float64) *RandomFaults {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &RandomFaults{Rng: rand.New(rand.NewSource(seed)), Scale: scale}
+}
+
+// Faulty implements FaultModel.
+func (r *RandomFaults) Faulty(ctx AttemptCtx) bool {
+	if ctx.Proc == nil || ctx.Proc.FaultRate <= 0 {
+		return false
+	}
+	p := 1 - math.Exp(-ctx.Proc.FaultRate*float64(ctx.Exec)*r.Scale)
+	return r.Rng.Float64() < p
+}
+
+// WorstFaults drives the system into its worst fault behaviour: every
+// re-executable task faults on its first k attempts (forcing maximal
+// re-execution) and one active replica of every passively replicated task
+// faults (forcing passive invocation). Voted results remain correct, so
+// the run exercises worst-case timing, not worst-case reliability.
+type WorstFaults struct{}
+
+// Faulty implements FaultModel.
+func (WorstFaults) Faulty(ctx AttemptCtx) bool {
+	if ctx.Node.Task.ReExecutable() {
+		return ctx.Attempt < ctx.Node.Task.ReExec // last attempt succeeds
+	}
+	if ctx.Node.Task.Kind == model.KindReplica && !ctx.Node.Task.Passive && ctx.HasPassiveSiblings {
+		return isReplicaZero(ctx.Node)
+	}
+	return false
+}
+
+func isReplicaZero(n *platform.Node) bool {
+	id := string(n.Task.ID)
+	return len(id) > 3 && id[len(id)-3:] == "#r0"
+}
+
+// FaultCoord addresses one execution attempt.
+type FaultCoord struct {
+	Task     model.TaskID
+	Instance int
+	Attempt  int
+}
+
+// ProfileFaults injects faults at explicit (task, instance, attempt)
+// coordinates — used by tests and directed experiments.
+type ProfileFaults struct {
+	Hits map[FaultCoord]bool
+}
+
+// Faulty implements FaultModel.
+func (p *ProfileFaults) Faulty(ctx AttemptCtx) bool {
+	return p.Hits[FaultCoord{Task: ctx.Node.Task.ID, Instance: ctx.Instance, Attempt: ctx.Attempt}]
+}
+
+// WCETExec always executes for the worst case.
+type WCETExec struct{}
+
+// ExecTime implements ExecModel.
+func (WCETExec) ExecTime(n *platform.Node, _, _ int) model.Time { return n.WCET }
+
+// BCETExec always executes for the best case.
+type BCETExec struct{}
+
+// ExecTime implements ExecModel.
+func (BCETExec) ExecTime(n *platform.Node, _, _ int) model.Time { return n.BCET }
+
+// RandomExec draws uniformly from [BCET, WCET].
+type RandomExec struct {
+	Rng *rand.Rand
+}
+
+// NewRandomExec builds a deterministic RandomExec from a seed.
+func NewRandomExec(seed int64) *RandomExec {
+	return &RandomExec{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// ExecTime implements ExecModel.
+func (r *RandomExec) ExecTime(n *platform.Node, _, _ int) model.Time {
+	if n.WCET <= n.BCET {
+		return n.WCET
+	}
+	span := int64(n.WCET - n.BCET)
+	return n.BCET + model.Time(r.Rng.Int63n(span+1))
+}
+
+var (
+	_ FaultModel = NoFaults{}
+	_ FaultModel = (*RandomFaults)(nil)
+	_ FaultModel = WorstFaults{}
+	_ FaultModel = (*ProfileFaults)(nil)
+	_ ExecModel  = WCETExec{}
+	_ ExecModel  = BCETExec{}
+	_ ExecModel  = (*RandomExec)(nil)
+)

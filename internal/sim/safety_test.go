@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+)
+
+// randomSystem builds a random mixed-criticality problem instance:
+// layered DAG graphs with random timing, random hardening on critical
+// tasks and a random mapping. Returns the compiled system and drop set.
+func randomSystem(t *testing.T, rng *rand.Rand) (*platform.System, core.DropSet) {
+	t.Helper()
+	nProcs := 2 + rng.Intn(2)
+	kinds := []model.FabricKind{model.FabricIdeal, model.FabricSharedBus, model.FabricCrossbar, model.FabricMesh}
+	a := &model.Architecture{Name: "rnd", Fabric: model.Fabric{
+		Kind: kinds[rng.Intn(len(kinds))], Bandwidth: 4, BaseLatency: 2,
+	}}
+	for i := 0; i < nProcs; i++ {
+		a.Procs = append(a.Procs, model.Processor{
+			ID: model.ProcID(i), Name: fmt.Sprintf("p%d", i),
+			StaticPower: 0.1, DynPower: 1, FaultRate: 1e-7,
+			// A third of the processors schedule non-preemptively, so the
+			// soundness property also covers the blocking-term analysis.
+			NonPreemptive: rng.Intn(3) == 0,
+		})
+	}
+
+	nGraphs := 2 + rng.Intn(2)
+	periods := []model.Time{1000, 2000}
+	var graphs []*model.TaskGraph
+	plan := hardening.Plan{}
+	dropped := core.DropSet{}
+	for gi := 0; gi < nGraphs; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		g := model.NewTaskGraph(name, periods[rng.Intn(len(periods))])
+		droppable := gi > 0 && rng.Intn(2) == 0
+		if droppable {
+			g.SetService(float64(1 + rng.Intn(5)))
+			if rng.Intn(3) > 0 {
+				dropped[name] = true
+			}
+		} else {
+			g.SetCritical(1e-3) // loose, reliability not under test here
+		}
+		nTasks := 2 + rng.Intn(4)
+		var names []string
+		for ti := 0; ti < nTasks; ti++ {
+			tn := fmt.Sprintf("t%d", ti)
+			w := model.Time(10 + rng.Intn(60))
+			b := w - model.Time(rng.Intn(int(w/2)+1))
+			g.AddTask(tn, b, w, model.Time(1+rng.Intn(5)), model.Time(1+rng.Intn(5)))
+			names = append(names, tn)
+		}
+		for i := 0; i < nTasks; i++ {
+			for j := i + 1; j < nTasks; j++ {
+				if rng.Float64() < 0.35 {
+					g.AddChannel(names[i], names[j], int64(rng.Intn(64)))
+				}
+			}
+		}
+		// Harden some critical tasks.
+		if !droppable {
+			for ti := 0; ti < nTasks; ti++ {
+				id := model.MakeTaskID(name, fmt.Sprintf("t%d", ti))
+				switch rng.Intn(4) {
+				case 0:
+					plan[id] = hardening.Decision{Technique: hardening.ReExecution, K: 1 + rng.Intn(2)}
+				case 1:
+					plan[id] = hardening.Decision{Technique: hardening.ActiveReplication, Replicas: 3}
+				case 2:
+					plan[id] = hardening.Decision{Technique: hardening.PassiveReplication, Replicas: 3}
+				}
+			}
+		}
+		graphs = append(graphs, g)
+	}
+	man, err := hardening.Apply(model.NewAppSet(graphs...), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := model.Mapping{}
+	for _, g := range man.Apps.Graphs {
+		for _, task := range g.Tasks {
+			mapping[task.ID] = model.ProcID(rng.Intn(nProcs))
+		}
+	}
+	sys, err := platform.Compile(a, man.Apps, mapping, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, dropped
+}
+
+// TestAnalysisBoundsSimulation is the central soundness property (E6):
+// for random systems and random failure profiles, no simulated response
+// may exceed the WCRT bound of the proposed analysis (Algorithm 1), and
+// the Naive bound must dominate the Proposed one.
+func TestAnalysisBoundsSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		sys, dropped := randomSystem(t, rng)
+		rep, err := core.Analyze(sys, dropped, core.NewConfig())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		naive, err := core.Naive{}.GraphWCRTs(sys, dropped)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for gi := range naive {
+			if naive[gi] < rep.GraphWCRT[gi] {
+				t.Errorf("trial %d graph %d: naive %v < proposed %v", trial, gi, naive[gi], rep.GraphWCRT[gi])
+			}
+		}
+		// The wrapper is backend-agnostic: with the coarse backend it must
+		// dominate the holistic-backend result (coarse bounds are looser).
+		repCoarse, err := core.Analyze(sys, dropped, core.Config{Analyzer: &sched.Coarse{}, DedupScenarios: true})
+		if err != nil {
+			t.Fatalf("trial %d: coarse: %v", trial, err)
+		}
+		for gi := range rep.GraphWCRT {
+			if repCoarse.GraphWCRT[gi].IsInfinite() {
+				continue
+			}
+			if repCoarse.GraphWCRT[gi] < rep.GraphWCRT[gi] {
+				t.Errorf("trial %d graph %d: coarse-backend %v below holistic-backend %v",
+					trial, gi, repCoarse.GraphWCRT[gi], rep.GraphWCRT[gi])
+			}
+		}
+
+		check := func(res *RunResult, what string) {
+			for gi := range res.GraphResponses {
+				bound := rep.GraphWCRT[gi]
+				if bound.IsInfinite() {
+					continue
+				}
+				for _, r := range res.GraphResponses[gi] {
+					if r > bound {
+						t.Errorf("trial %d %s: graph %s response %v exceeds analyzed WCRT %v",
+							trial, what, sys.Apps.Graphs[gi].Name, r, bound)
+					}
+				}
+			}
+		}
+
+		// Fault-free runs with both execution-time extremes and random
+		// times.
+		for _, ec := range []ExecModel{WCETExec{}, BCETExec{}, NewRandomExec(int64(trial))} {
+			res, err := Run(sys, Config{Dropped: dropped, Exec: ec})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			check(res, "no-fault")
+		}
+		// Random failure profiles (exaggerated rates so faults happen).
+		for s := 0; s < 15; s++ {
+			res, err := Run(sys, Config{
+				Dropped: dropped,
+				Faults:  NewRandomFaults(int64(trial*1000+s), AutoFaultScale(sys)*5),
+				Exec:    NewRandomExec(int64(trial*1000 + s)),
+			})
+			if err != nil {
+				t.Fatalf("trial %d seed %d: %v", trial, s, err)
+			}
+			check(res, fmt.Sprintf("faults(seed %d)", s))
+		}
+		// The worst-case deterministic trace.
+		res, err := Run(sys, Config{Dropped: dropped, Faults: WorstFaults{}})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		check(res, "worst-faults")
+
+		// Adhoc is a possible behaviour, so Proposed must dominate it.
+		adhoc, err := Adhoc{}.GraphWCRTs(sys, dropped)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for gi := range adhoc {
+			if rep.GraphWCRT[gi].IsInfinite() {
+				continue
+			}
+			// Dropped graphs produce no Adhoc response; skip zero entries.
+			if adhoc[gi] == 0 {
+				continue
+			}
+			if adhoc[gi] > rep.GraphWCRT[gi] {
+				t.Errorf("trial %d: graph %s Adhoc %v exceeds Proposed %v",
+					trial, sys.Apps.Graphs[gi].Name, adhoc[gi], rep.GraphWCRT[gi])
+			}
+		}
+	}
+}
+
+// TestWCSimBelowProposed checks the Table 2 ordering on a fixed small
+// system: WC-Sim <= Proposed <= Naive.
+func TestWCSimBelowProposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sys, dropped := randomSystem(t, rng)
+	prop, err := core.Proposed{Config: core.NewConfig()}.GraphWCRTs(sys, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcs, err := WCSim{Runs: 200, Seed: 9}.GraphWCRTs(sys, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := core.Naive{}.GraphWCRTs(sys, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range prop {
+		if prop[gi].IsInfinite() {
+			continue
+		}
+		if wcs[gi] > prop[gi] {
+			t.Errorf("graph %d: WC-Sim %v > Proposed %v", gi, wcs[gi], prop[gi])
+		}
+		if naive[gi] < prop[gi] {
+			t.Errorf("graph %d: Naive %v < Proposed %v", gi, naive[gi], prop[gi])
+		}
+	}
+}

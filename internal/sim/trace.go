@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// Segment is one contiguous execution interval of a job attempt on a
+// processor.
+type Segment struct {
+	Node    platform.NodeID
+	Inst    int
+	Attempt int
+	Proc    model.ProcID
+	Start   model.Time
+	End     model.Time
+	// Preempted marks segments ended by preemption rather than
+	// completion.
+	Preempted bool
+}
+
+// Trace collects execution segments for inspection and Gantt rendering.
+type Trace struct {
+	sys      *platform.System
+	Segments []Segment
+}
+
+// NewTrace creates an empty trace bound to a system.
+func NewTrace(sys *platform.System) *Trace { return &Trace{sys: sys} }
+
+// Add appends a segment (zero-length segments are kept: they record
+// zero-time executions).
+func (t *Trace) Add(s Segment) { t.Segments = append(t.Segments, s) }
+
+// ByProc returns the segments of one processor in start order.
+func (t *Trace) ByProc(p model.ProcID) []Segment {
+	var out []Segment
+	for _, s := range t.Segments {
+		if s.Proc == p {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Busy returns the total busy time of a processor.
+func (t *Trace) Busy(p model.ProcID) model.Time {
+	var total model.Time
+	for _, s := range t.Segments {
+		if s.Proc == p {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// Gantt renders an ASCII Gantt chart with the given horizontal resolution
+// (time units per character cell). Each processor gets one row; cells show
+// the first letter of the running task's name.
+func (t *Trace) Gantt(cellWidth model.Time) string {
+	if cellWidth <= 0 {
+		cellWidth = model.Millisecond
+	}
+	var end model.Time
+	for _, s := range t.Segments {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	cells := int(model.CeilDiv(end, cellWidth))
+	if cells <= 0 {
+		cells = 1
+	}
+	if cells > 4000 {
+		cells = 4000
+	}
+	var b strings.Builder
+	procIDs := t.sys.Arch.ProcIDs()
+	for _, pid := range procIDs {
+		row := make([]byte, cells)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.ByProc(pid) {
+			lo := int(s.Start / cellWidth)
+			hi := int(model.CeilDiv(s.End, cellWidth))
+			if hi > cells {
+				hi = cells
+			}
+			ch := byte('?')
+			name := t.sys.Nodes[s.Node].Task.Name
+			if len(name) > 0 {
+				ch = name[0]
+			}
+			for i := lo; i < hi && i >= 0; i++ {
+				row[i] = ch
+			}
+		}
+		fmt.Fprintf(&b, "P%-3d |%s|\n", int(pid), string(row))
+	}
+	fmt.Fprintf(&b, "      0 .. %s (1 cell = %s)\n", end, cellWidth)
+	return b.String()
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace: %d segments", len(t.Segments))
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// ValidateTrace checks structural invariants of a recorded trace against
+// the compiled system. It is a test oracle for the engine itself and a
+// debugging aid for users inspecting schedules:
+//
+//   - segments on one processor never overlap;
+//   - every segment runs on the processor its task is mapped to;
+//   - no job executes before its instance release;
+//   - precedence is respected: a job's first segment starts no earlier
+//     than every (executed) predecessor's completion within the instance;
+//   - on non-preemptive processors, no segment is marked preempted.
+//
+// It returns nil when all invariants hold.
+func ValidateTrace(sys *platform.System, tr *Trace) error {
+	if tr == nil {
+		return fmt.Errorf("sim: nil trace")
+	}
+	// Per-processor overlap.
+	byProc := map[model.ProcID][]Segment{}
+	for _, s := range tr.Segments {
+		if s.End < s.Start {
+			return fmt.Errorf("sim: segment with negative span: %+v", s)
+		}
+		node := sys.Nodes[s.Node]
+		if node.Proc != s.Proc {
+			return fmt.Errorf("sim: task %s executed on processor %d, mapped to %d",
+				node.Task.ID, s.Proc, node.Proc)
+		}
+		if node.NonPreemptive && s.Preempted {
+			return fmt.Errorf("sim: preempted segment on non-preemptive processor %d (%s)",
+				s.Proc, node.Task.ID)
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], s)
+	}
+	for pid, segs := range byProc {
+		// Zero-length segments are timeless steps (dispatch nodes, ve=0
+		// voters): they consume no processor time and may coincide with a
+		// running job.
+		busy := segs[:0]
+		for _, s := range segs {
+			if s.End > s.Start {
+				busy = append(busy, s)
+			}
+		}
+		sort.Slice(busy, func(i, j int) bool {
+			if busy[i].Start != busy[j].Start {
+				return busy[i].Start < busy[j].Start
+			}
+			return busy[i].End < busy[j].End
+		})
+		for i := 1; i < len(busy); i++ {
+			if busy[i].Start < busy[i-1].End {
+				return fmt.Errorf("sim: overlapping segments on processor %d: %+v and %+v",
+					pid, busy[i-1], busy[i])
+			}
+		}
+	}
+	// Release and precedence (within the first hyperperiod only; later
+	// hyperperiods use shifted releases tracked by the engine).
+	type jk struct {
+		node platform.NodeID
+		inst int
+	}
+	first := map[jk]model.Time{}
+	last := map[jk]model.Time{}
+	for _, s := range tr.Segments {
+		k := jk{s.Node, s.Inst}
+		if v, ok := first[k]; !ok || s.Start < v {
+			first[k] = s.Start
+		}
+		if v, ok := last[k]; !ok || s.End > v {
+			last[k] = s.End
+		}
+	}
+	for k, start := range first {
+		node := sys.Nodes[k.node]
+		perHP := len(sys.GraphInstances[node.GraphIdx])
+		hp := k.inst / perHP
+		release := model.Time(hp)*sys.Hyperperiod + node.Release
+		if start < release {
+			return fmt.Errorf("sim: job %s/%d started at %v before release %v",
+				node.Task.ID, k.inst, start, release)
+		}
+		for _, e := range node.In {
+			pk := jk{e.From, k.inst}
+			if fin, ok := last[pk]; ok {
+				if start < fin {
+					return fmt.Errorf("sim: job %s/%d started at %v before predecessor %s finished at %v",
+						node.Task.ID, k.inst, start, sys.Nodes[e.From].Task.ID, fin)
+				}
+			}
+		}
+	}
+	return nil
+}

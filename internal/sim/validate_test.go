@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// TestValidateTraceOnRandomRuns: every engine trace satisfies the
+// structural invariants (no overlap, precedence, releases, mapping,
+// non-preemptive integrity).
+func TestValidateTraceOnRandomRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		sys, dropped := randomSystem(t, rng)
+		for s := 0; s < 3; s++ {
+			res, err := Run(sys, Config{
+				Dropped:     dropped,
+				Faults:      NewRandomFaults(int64(trial*10+s), AutoFaultScale(sys)*4),
+				Exec:        NewRandomExec(int64(trial*10 + s)),
+				RecordTrace: true,
+				Horizon:     1 + s%2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateTrace(sys, res.Trace); err != nil {
+				t.Fatalf("trial %d seed %d: %v", trial, s, err)
+			}
+		}
+	}
+}
+
+// TestValidateTraceCatchesViolations: corrupted traces are rejected with
+// the right diagnostics.
+func TestValidateTraceCatchesViolations(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 5, 5, 0, 0)
+	g.AddTask("b", 5, 5, 0, 0)
+	g.AddChannel("a", "b", 0)
+	sys := compile(t, arch(2), model.NewAppSet(g), model.Mapping{"g/a": 0, "g/b": 1})
+	res := mustRun(t, sys, Config{RecordTrace: true})
+	if err := ValidateTrace(sys, res.Trace); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	corrupt := func(f func(tr *Trace)) error {
+		r := mustRun(t, sys, Config{RecordTrace: true})
+		f(r.Trace)
+		return ValidateTrace(sys, r.Trace)
+	}
+	if err := corrupt(func(tr *Trace) {
+		tr.Segments[0].Proc = 1
+	}); err == nil || !strings.Contains(err.Error(), "mapped") {
+		t.Errorf("wrong-processor corruption not caught: %v", err)
+	}
+	if err := corrupt(func(tr *Trace) {
+		tr.Add(Segment{Node: 0, Inst: 0, Proc: 0, Start: 2, End: 4})
+	}); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlap corruption not caught: %v", err)
+	}
+	if err := corrupt(func(tr *Trace) {
+		// Move b before its predecessor a.
+		for i := range tr.Segments {
+			if tr.Segments[i].Node == sys.Node("g/b").ID {
+				tr.Segments[i].Start = 0
+				tr.Segments[i].End = 1
+			}
+		}
+	}); err == nil || !strings.Contains(err.Error(), "predecessor") {
+		t.Errorf("precedence corruption not caught: %v", err)
+	}
+	if err := ValidateTrace(sys, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+// TestValidateTraceNonPreemptiveFlag: a preempted segment on a
+// non-preemptive processor is rejected.
+func TestValidateTraceNonPreemptiveFlag(t *testing.T) {
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 5, 5, 0, 0)
+	a := npArch(true)
+	sys, err := platform.Compile(a, model.NewAppSet(g), model.Mapping{"g/a": 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, sys, Config{RecordTrace: true})
+	res.Trace.Segments[0].Preempted = true
+	if err := ValidateTrace(sys, res.Trace); err == nil {
+		t.Error("preempted segment on non-preemptive processor accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWorstFaultsDominatesNoFaultRuns documents that on these (fixed,
+// deterministic) random systems, maximal fault injection slows every
+// application relative to its fault-free run. Scheduling anomalies could
+// break this in general — the paper's own warning about trace-based
+// estimates — so the seed is pinned: the test is a regression guard for
+// the engine, not a universal claim.
+func TestWorstFaultsDominatesNoFaultRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 15; trial++ {
+		sys, _ := randomSystem(t, rng)
+		worst, err := Run(sys, Config{Faults: WorstFaults{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := Run(sys, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi := range clean.GraphWCRT {
+			// Both runs complete the same instances (nothing is dropped
+			// when Dropped is empty): faults only add work.
+			if clean.GraphWCRT[gi] > worst.GraphWCRT[gi] {
+				t.Errorf("trial %d graph %d: clean %v above worst-faults %v",
+					trial, gi, clean.GraphWCRT[gi], worst.GraphWCRT[gi])
+			}
+		}
+	}
+}

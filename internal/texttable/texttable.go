@@ -1,0 +1,78 @@
+// Package texttable renders small aligned text tables for the experiment
+// harnesses, in the visual style of the paper's tables.
+package texttable
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them with aligned columns.
+type Table struct {
+	Title string
+	rows  [][]string
+	// seps marks horizontal separators to draw *before* the given row
+	// index.
+	seps map[int]bool
+}
+
+// New creates a table with an optional title.
+func New(title string) *Table {
+	return &Table{Title: title, seps: map[int]bool{}}
+}
+
+// Row appends a row; cells are stringified with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Sep inserts a horizontal separator before the next row.
+func (t *Table) Sep() *Table {
+	t.seps[len(t.rows)] = true
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := []int{}
+	for _, row := range t.rows {
+		for i, c := range row {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := strings.Repeat("-", total)
+	b.WriteString(line)
+	b.WriteByte('\n')
+	for ri, row := range t.rows {
+		if t.seps[ri] {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(line)
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tbl := New("My Table")
+	tbl.Row("a", "bb", "ccc")
+	tbl.Sep()
+	tbl.Row("dddd", 5, 6.5)
+	out := tbl.String()
+	if !strings.Contains(out, "My Table") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "dddd") || !strings.Contains(out, "6.5") {
+		t.Error("cells missing")
+	}
+	// Columns aligned: "a" padded to the width of "dddd".
+	lines := strings.Split(out, "\n")
+	var rowA, rowD string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a ") {
+			rowA = l
+		}
+		if strings.HasPrefix(l, "dddd") {
+			rowD = l
+		}
+	}
+	if rowA == "" || rowD == "" {
+		t.Fatalf("rows not found in output:\n%s", out)
+	}
+	if strings.Index(rowA, "bb") != strings.Index(rowD, "5") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	// Separator count: top, mid, bottom.
+	if strings.Count(out, strings.Repeat("-", 4)) < 3 {
+		t.Error("separators missing")
+	}
+}
+
+func TestUntitledAndEmpty(t *testing.T) {
+	out := New("").String()
+	if strings.Count(out, "\n") < 2 {
+		t.Errorf("empty table should still render frame: %q", out)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tbl := New("ragged")
+	tbl.Row("a")
+	tbl.Row("b", "c", "d")
+	out := tbl.String()
+	if !strings.Contains(out, "d") {
+		t.Error("wide row lost")
+	}
+}

@@ -1,0 +1,177 @@
+package mcmap_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mcmap"
+)
+
+// buildDemo assembles a small system through the public facade.
+func buildDemo(t *testing.T) (*mcmap.Architecture, *mcmap.HardeningManifest, mcmap.Mapping) {
+	t.Helper()
+	ms := mcmap.Millisecond
+	arch := &mcmap.Architecture{
+		Name: "demo",
+		Procs: []mcmap.Processor{
+			{ID: 0, Name: "p0", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-8},
+			{ID: 1, Name: "p1", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-8},
+			{ID: 2, Name: "p2", StaticPower: 0.2, DynPower: 1, FaultRate: 1e-8},
+		},
+		Fabric: mcmap.Fabric{Bandwidth: 100, BaseLatency: 10},
+	}
+	ctrl := mcmap.NewTaskGraph("ctrl", 100*ms).SetCritical(1e-10)
+	ctrl.AddTask("in", 2*ms, 5*ms, 1*ms, 1*ms)
+	ctrl.AddTask("out", 3*ms, 8*ms, 1*ms, 1*ms)
+	ctrl.AddChannel("in", "out", 64)
+	soft := mcmap.NewTaskGraph("soft", 50*ms).SetService(3)
+	soft.AddTask("bg", 2*ms, 6*ms, 0, 0)
+	man, err := mcmap.Harden(mcmap.NewAppSet(ctrl, soft), mcmap.HardeningPlan{
+		"ctrl/in":  {Technique: mcmap.ReExecution, K: 1},
+		"ctrl/out": {Technique: mcmap.PassiveReplica, Replicas: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := mcmap.Mapping{
+		"ctrl/in":                      0,
+		mcmap.ReplicaID("ctrl/out", 0): 0,
+		mcmap.ReplicaID("ctrl/out", 1): 1,
+		mcmap.ReplicaID("ctrl/out", 2): 2,
+		mcmap.VoterID("ctrl/out"):      1,
+		mcmap.DispatchID("ctrl/out"):   1,
+		"soft/bg":                      2,
+	}
+	return arch, man, mapping
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	arch, man, mapping := buildDemo(t)
+	sys, err := mcmap.Compile(arch, man.Apps, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mcmap.AnalyzeWCRT(sys, mcmap.DropSet{"soft": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Errorf("demo should be feasible: wcrt=%v", rep.WCRTOf("ctrl"))
+	}
+	// Simulation stays below the analyzed bound.
+	res, err := mcmap.Simulate(sys, mcmap.SimConfig{
+		Dropped: mcmap.DropSet{"soft": true},
+		Faults:  mcmap.RandomFaults(3, mcmap.AutoFaultScale(sys)*4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, bound := res.MaxResponseOf(sys, "ctrl"), rep.WCRTOf("ctrl"); got > bound {
+		t.Errorf("simulated %v exceeds analyzed %v", got, bound)
+	}
+	// Reliability and power models run on facade types.
+	rel, err := mcmap.AssessReliability(arch, man, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.OK() {
+		t.Errorf("violations: %v", rel.Violations)
+	}
+	pw, err := mcmap.ExpectedPower(arch, man, mapping, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Total <= 0 {
+		t.Error("non-positive power")
+	}
+}
+
+func TestFacadeEstimators(t *testing.T) {
+	arch, man, mapping := buildDemo(t)
+	sys, err := mcmap.Compile(arch, man.Apps, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := mcmap.DropSet{"soft": true}
+	prop, err := mcmap.EstimatorProposed.GraphWCRTs(sys, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := mcmap.EstimatorNaive.GraphWCRTs(sys, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adhoc, err := mcmap.EstimatorAdhoc.GraphWCRTs(sys, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcsim, err := mcmap.NewWCSim(100, 1).GraphWCRTs(sys, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := sys.GraphIndex("ctrl")
+	if naive[gi] < prop[gi] || adhoc[gi] > prop[gi] || wcsim[gi] > prop[gi] {
+		t.Errorf("estimator ordering violated: adhoc=%v wcsim=%v prop=%v naive=%v",
+			adhoc[gi], wcsim[gi], prop[gi], naive[gi])
+	}
+}
+
+func TestFacadeDirectedFault(t *testing.T) {
+	arch, man, mapping := buildDemo(t)
+	sys, err := mcmap.Compile(arch, man.Apps, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mcmap.Simulate(sys, mcmap.SimConfig{
+		Faults: mcmap.DirectedFault("ctrl/in", 0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalEntries != 1 {
+		t.Errorf("critical entries = %d, want 1", res.CriticalEntries)
+	}
+}
+
+func TestFacadeOptimize(t *testing.T) {
+	arch, man, _ := buildDemo(t)
+	_ = man
+	b, err := mcmap.BenchmarkByName("synth-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mcmap.NewProblem(b.Arch, b.Apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mcmap.Optimize(p, mcmap.DSEOptions{PopSize: 12, Generations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Evaluated == 0 {
+		t.Error("nothing evaluated")
+	}
+	_ = arch
+	if len(mcmap.BenchmarkNames()) != 5 {
+		t.Errorf("BenchmarkNames = %v", mcmap.BenchmarkNames())
+	}
+}
+
+func TestFacadeSpecRoundTrip(t *testing.T) {
+	arch, man, mapping := buildDemo(t)
+	spec := &mcmap.Spec{Architecture: arch, Apps: man.Apps, Mapping: mapping}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := mcmap.SaveSpec(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mcmap.LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Apps.NumTasks() != man.Apps.NumTasks() {
+		t.Error("round trip lost tasks")
+	}
+	if _, err := mcmap.Compile(back.Architecture, back.Apps, back.Mapping); err != nil {
+		t.Errorf("reloaded spec does not compile: %v", err)
+	}
+}
