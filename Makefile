@@ -1,0 +1,30 @@
+# Developer entry points. Everything here is plain `go` tooling; no
+# extra dependencies are required.
+
+GO       ?= go
+BENCH    ?= BenchmarkAnalyzeParallel|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic
+BENCHOUT ?= BENCH_core.json
+
+.PHONY: build test test-race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# bench runs the performance-critical micro-benchmarks and writes the
+# machine-readable results (a test2json stream, one JSON object per
+# line) to $(BENCHOUT) for tracking across commits, while the usual
+# human-readable benchmark lines land on stdout.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count 1 . | tee bench.txt
+	$(GO) tool test2json < bench.txt > $(BENCHOUT)
+	@rm -f bench.txt
+	@echo "wrote $(BENCHOUT)"
+
+clean:
+	rm -f $(BENCHOUT) bench.txt cpu.out mem.out

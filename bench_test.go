@@ -275,6 +275,68 @@ func BenchmarkAlgorithm1Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeParallel measures the parallel scenario fan-out of
+// Algorithm 1 on DT-large at growing worker counts. Workers=1 is the
+// sequential engine; the output Report is identical at every setting
+// (see TestParallelAnalyzeEquivalence), so this is a pure wall-clock
+// comparison. Speedups require GOMAXPROCS >= workers.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	bench := benchmarks.DTLarge()
+	sys, dropped, err := bench.CompiledSample(benchmarks.MapLoadBalance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := core.NewConfig()
+			cfg.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(sys, dropped, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDSEMemoization contrasts a GA run with the fitness cache on
+// (default) and off. Both runs follow the identical trajectory (see
+// TestMemoizedTrajectoryMatchesUncached); the cached run performs fewer
+// Decode→Apply→Compile→Analyze pipelines, reported as analyses/run.
+func BenchmarkDSEMemoization(b *testing.B) {
+	bench := benchmarks.DTMed()
+	p, err := dse.NewProblem(bench.Arch, bench.Apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		size int
+	}{
+		{"cache", 0},    // default LRU
+		{"nocache", -1}, // memoization disabled
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			analyses := 0
+			for i := 0; i < b.N; i++ {
+				res, err := dse.Optimize(p, dse.Options{
+					PopSize: 24, Generations: 12, Seed: 1, FitnessCacheSize: c.size,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.size < 0 {
+					analyses = res.Stats.Evaluated
+				} else {
+					analyses = res.Stats.CacheMisses
+				}
+			}
+			b.ReportMetric(float64(analyses), "analyses/run")
+		})
+	}
+}
+
 // --- Micro-benchmarks -----------------------------------------------------------
 
 // BenchmarkHolisticBackend measures one backend invocation (the sched

@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"mcmap/cmd/internal/prof"
 	"mcmap/internal/benchmarks"
 	"mcmap/internal/dse"
 	"mcmap/internal/experiments"
@@ -31,6 +32,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "small budgets for a fast smoke run")
 	seed := flag.Int64("seed", 1, "seed for all stochastic components")
+	workers := flag.Int("workers", 0, "worker budget shared by GA fitness evaluation and scenario analysis (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -38,7 +42,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 	opts := gaOptions(*quick, *seed)
+	opts.Workers = *workers
 	mcRuns := 10000
 	if *quick {
 		mcRuns = 500
@@ -48,10 +58,12 @@ func main() {
 		t0 := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			stopProf()
 			os.Exit(1)
 		}
 		fmt.Printf("[%s finished in %.1fs]\n\n", name, time.Since(t0).Seconds())
 	}
+	defer stopProf()
 
 	dispatch := map[string]func() error{
 		"motivation": motivation,
@@ -59,7 +71,7 @@ func main() {
 		"dropgain":   func() error { return dropgain(opts) },
 		"ratio":      func() error { return ratio(opts) },
 		"pareto":     func() error { return pareto(opts) },
-		"ablation":   func() error { return ablation(*quick, *seed) },
+		"ablation":   func() error { return ablation(*quick, *seed, *workers) },
 		"related":    related,
 	}
 	if cmd == "all" {
@@ -72,13 +84,14 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n\n", cmd)
 		usage()
+		stopProf()
 		os.Exit(2)
 	}
 	run(cmd, f)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] <subcommand>
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-workers N] [-cpuprofile F] [-memprofile F] <subcommand>
 
 subcommands:
   motivation   Figure 1 motivational example
@@ -155,10 +168,10 @@ func pareto(opts dse.Options) error {
 	return nil
 }
 
-func ablation(quick bool, seed int64) error {
-	opts := dse.Options{PopSize: 48, Generations: 60, Seed: seed}
+func ablation(quick bool, seed int64, workers int) error {
+	opts := dse.Options{PopSize: 48, Generations: 60, Seed: seed, Workers: workers}
 	if quick {
-		opts = dse.Options{PopSize: 24, Generations: 15, Seed: seed}
+		opts = dse.Options{PopSize: 24, Generations: 15, Seed: seed, Workers: workers}
 	}
 	r, err := experiments.Ablations(opts)
 	if err != nil {

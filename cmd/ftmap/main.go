@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"mcmap"
+	"mcmap/cmd/internal/prof"
 	"mcmap/internal/dse"
 )
 
@@ -20,11 +21,20 @@ func main() {
 	pop := flag.Int("pop", 100, "GA population size")
 	gens := flag.Int("gens", 300, "GA generations")
 	seed := flag.Int64("seed", 1, "GA seed")
+	workers := flag.Int("workers", 0, "worker budget shared by GA fitness evaluation and scenario analysis (0 = GOMAXPROCS)")
 	noDrop := flag.Bool("nodrop", false, "disable task dropping (T_d always empty)")
 	track := flag.Bool("track", false, "track the dropping-rescue ratio (doubles analysis cost)")
 	out := flag.String("o", "", "write the best design's spec (arch+apps+mapping) to this JSON file")
 	csvPrefix := flag.String("csv", "", "write <prefix>-front.csv and <prefix>-history.csv for plotting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(stopProf, err)
+	}
+	defer stopProf()
 
 	var arch *mcmap.Architecture
 	var apps *mcmap.AppSet
@@ -32,13 +42,13 @@ func main() {
 	case *bench != "":
 		b, err := mcmap.BenchmarkByName(*bench)
 		if err != nil {
-			log.Fatal(err)
+			fatal(stopProf, err)
 		}
 		arch, apps = b.Arch, b.Apps
 	case *spec != "":
 		s, err := mcmap.LoadSpec(*spec)
 		if err != nil {
-			log.Fatal(err)
+			fatal(stopProf, err)
 		}
 		arch, apps = s.Architecture, s.Apps
 	default:
@@ -48,14 +58,14 @@ func main() {
 
 	p, err := mcmap.NewProblem(arch, apps)
 	if err != nil {
-		log.Fatal(err)
+		fatal(stopProf, err)
 	}
 	res, err := mcmap.Optimize(p, mcmap.DSEOptions{
-		PopSize: *pop, Generations: *gens, Seed: *seed,
+		PopSize: *pop, Generations: *gens, Seed: *seed, Workers: *workers,
 		DisableDropping: *noDrop, TrackDroppingGain: *track,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(stopProf, err)
 	}
 
 	fmt.Printf("evaluated %d candidates, %d feasible\n", res.Stats.Evaluated, res.Stats.Feasible)
@@ -65,6 +75,7 @@ func main() {
 	}
 	if res.Best == nil {
 		fmt.Println("no feasible design found — increase -gens or relax the constraints")
+		stopProf()
 		os.Exit(1)
 	}
 	fmt.Printf("best design: %.3f W, service %.0f, dropped %v\n",
@@ -84,10 +95,10 @@ func main() {
 		} {
 			fh, err := os.Create(*csvPrefix + f.suffix)
 			if err != nil {
-				log.Fatal(err)
+				fatal(stopProf, err)
 			}
 			if err := f.write(fh); err != nil {
-				log.Fatal(err)
+				fatal(stopProf, err)
 			}
 			fh.Close()
 			fmt.Println("wrote", *csvPrefix+f.suffix)
@@ -97,13 +108,21 @@ func main() {
 	if *out != "" {
 		ph, err := p.Decode(res.Best.Genome)
 		if err != nil {
-			log.Fatal(err)
+			fatal(stopProf, err)
 		}
 		if err := mcmap.SaveSpec(*out, &mcmap.Spec{
 			Architecture: arch, Apps: ph.Manifest.Apps, Mapping: ph.Mapping,
 		}); err != nil {
-			log.Fatal(err)
+			fatal(stopProf, err)
 		}
 		fmt.Printf("\nbest design written to %s\n", *out)
 	}
+}
+
+// fatal flushes any in-flight profiles (os.Exit skips defers) and dies.
+func fatal(stopProf func(), err error) {
+	if stopProf != nil {
+		stopProf()
+	}
+	log.Fatal(err)
 }

@@ -1,0 +1,56 @@
+// Package prof wires the runtime/pprof CPU and heap profilers into the
+// command-line harnesses, so profiles of the analysis hot path can be
+// captured without code edits:
+//
+//	experiments -cpuprofile cpu.out -memprofile mem.out table2
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// (when memPath is non-empty). The stop function must run before the
+// process exits — call it explicitly on error paths, since os.Exit skips
+// deferred calls.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		}
+	}, nil
+}

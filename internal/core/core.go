@@ -23,10 +23,12 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"mcmap/internal/model"
 	"mcmap/internal/platform"
 	"mcmap/internal/sched"
+	"mcmap/internal/workpool"
 )
 
 // DropSet is the dropped application set T_d: the names of droppable
@@ -67,6 +69,22 @@ type Config struct {
 	// classifications). It is enabled by default in NewConfig; the zero
 	// Config leaves it off for strict paper fidelity.
 	DedupScenarios bool
+	// Workers bounds how many per-trigger scenario analyses run
+	// concurrently. Zero selects runtime.GOMAXPROCS(0); one forces the
+	// sequential engine. Parallelism requires a backend implementing
+	// sched.ConcurrentAnalyzer (Holistic and Coarse do); other backends
+	// silently fall back to sequential. The Report is byte-identical to
+	// the sequential engine for any worker count: scenarios are
+	// generated and deduplicated up front in trigger order and results
+	// are merged back in that same order.
+	Workers int
+	// Pool optionally shares one worker budget with an enclosing
+	// parallel caller, such as the GA's fitness evaluation. When set,
+	// extra scenario workers are spawned only while Pool.TryAcquire
+	// succeeds (the calling goroutine always analyzes inline), so
+	// nesting W-way fitness evaluation over W-way scenario fan-out
+	// cannot oversubscribe to W² goroutines.
+	Pool *workpool.Pool
 }
 
 func (c Config) analyzer() sched.Analyzer {
@@ -76,8 +94,21 @@ func (c Config) analyzer() sched.Analyzer {
 	return &sched.Holistic{}
 }
 
+// workers resolves the effective scenario-analysis worker bound.
+func (c Config) workers(analyzer sched.Analyzer) int {
+	ca, ok := analyzer.(sched.ConcurrentAnalyzer)
+	if !ok || !ca.ConcurrencySafe() {
+		return 1
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // NewConfig returns the recommended configuration: holistic backend with
-// scenario deduplication.
+// scenario deduplication and parallel scenario fan-out over GOMAXPROCS
+// workers.
 func NewConfig() Config {
 	return Config{Analyzer: &sched.Holistic{}, DedupScenarios: true}
 }
@@ -181,7 +212,32 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	}
 
 	// ---- Lines 10-34: per-trigger scenarios ------------------------------
-	seen := make(map[string]bool)
+	// Scenario generation and deduplication happen up front, sequentially
+	// and in trigger order, so the dedup semantics and counters match the
+	// sequential engine exactly; only the backend invocations fan out.
+	jobs := scenarioJobs(sys, dropped, normal, cfg, rep)
+	results, err := analyzeScenarios(analyzer, sys, jobs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range jobs {
+		rep.ScenariosAnalyzed++
+		rep.Scenarios = append(rep.Scenarios, ScenarioResult{Scenario: jobs[i].sc, Exec: jobs[i].exec, Result: results[i]})
+		accumulate(rep, results[i])
+	}
+
+	rep.NormalOK, rep.CriticalOK = verdicts(sys, rep)
+	return rep, nil
+}
+
+// scenarioJobs builds the deduplicated per-trigger work list in
+// deterministic trigger order, charging skipped duplicates to the report.
+func scenarioJobs(sys *platform.System, dropped DropSet, normal *sched.Result, cfg Config, rep *Report) []scenarioJob {
+	var jobs []scenarioJob
+	var seen map[string]bool
+	if cfg.DedupScenarios {
+		seen = make(map[string]bool)
+	}
 	for _, v := range sys.Nodes {
 		if !isTrigger(v) {
 			continue
@@ -200,17 +256,9 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 			}
 			seen[key] = true
 		}
-		res, err := analyzer.Analyze(sys, exec)
-		if err != nil {
-			return nil, err
-		}
-		rep.ScenariosAnalyzed++
-		rep.Scenarios = append(rep.Scenarios, ScenarioResult{Scenario: sc, Exec: exec, Result: res})
-		accumulate(rep, res)
+		jobs = append(jobs, scenarioJob{sc: sc, exec: exec})
 	}
-
-	rep.NormalOK, rep.CriticalOK = verdicts(sys, rep)
-	return rep, nil
+	return jobs
 }
 
 // diverged reports whether any bound saturated to infinity.

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+)
+
+// scenarioJob is one pre-generated, deduplicated scenario awaiting its
+// backend invocation.
+type scenarioJob struct {
+	sc   Scenario
+	exec []sched.ExecBounds
+}
+
+// analyzeScenarios runs the backend over every job, fanning out over
+// Config.Workers goroutines when the backend is concurrency-safe.
+// results[i] always corresponds to jobs[i], so callers merge in
+// deterministic trigger order regardless of scheduling. The per-job
+// errors collapse to the first (lowest-index) one, matching the error
+// the sequential engine would surface.
+func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scenarioJob, cfg Config) ([]*sched.Result, error) {
+	results := make([]*sched.Result, len(jobs))
+	workers := cfg.workers(analyzer)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			res, err := analyzer.Analyze(sys, jobs[i].exec)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(jobs) {
+				return
+			}
+			results[i], errs[i] = analyzer.Analyze(sys, jobs[i].exec)
+		}
+	}
+
+	// The calling goroutine always participates: under a shared Pool it
+	// already owns its budget slot, so extra helpers are spawned only
+	// while spare budget exists (TryAcquire, never a blocking Acquire —
+	// see workpool's nesting protocol).
+	var wg sync.WaitGroup
+	for k := 0; k < workers-1; k++ {
+		if cfg.Pool != nil && !cfg.Pool.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if cfg.Pool != nil {
+				defer cfg.Pool.Release()
+			}
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mcmap/internal/benchmarks"
+	"mcmap/internal/core"
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+	"mcmap/internal/workpool"
+)
+
+// TestParallelAnalyzeEquivalence is the randomized determinism guarantee:
+// for seeded random platforms/mappings, the fan-out engine must produce a
+// Report deep-equal to the sequential engine at every worker count, with
+// and without deduplication.
+func TestParallelAnalyzeEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		bench := benchmarks.Synth(benchmarks.SynthConfig{
+			Name: fmt.Sprintf("eq-%d", seed), Procs: 4,
+			CriticalApps: 2, DroppableApps: 2,
+			MinTasks: 3, MaxTasks: 6,
+			Seed: seed,
+		})
+		for _, strat := range []benchmarks.MappingStrategy{benchmarks.MapLoadBalance, benchmarks.MapSeededRandom} {
+			sys, dropped, err := bench.CompiledSample(strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, dedup := range []bool{true, false} {
+				seq := core.NewConfig()
+				seq.DedupScenarios = dedup
+				seq.Workers = 1
+				want, err := core.Analyze(sys, dropped, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{2, 8} {
+					cfg := seq
+					cfg.Workers = w
+					got, err := core.Analyze(sys, dropped, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d strat %v dedup %v workers %d: parallel report differs from sequential",
+							seed, strat, dedup, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAnalyzeSharedPool checks equivalence when the worker budget
+// comes from a shared (and even exhausted) workpool: with no spare
+// tokens the analysis degrades to inline execution, never deadlocks, and
+// still produces the sequential report.
+func TestParallelAnalyzeSharedPool(t *testing.T) {
+	bench := benchmarks.Cruise()
+	sys, dropped, err := bench.CompiledSample(benchmarks.MapClustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := core.NewConfig()
+	seq.Workers = 1
+	want, err := core.Analyze(sys, dropped, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := workpool.New(4)
+	cfg := core.NewConfig()
+	cfg.Workers = 4
+	cfg.Pool = pool
+	got, err := core.Analyze(sys, dropped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pooled parallel report differs from sequential")
+	}
+
+	// Exhaust the budget: the caller must fall back to inline analysis.
+	for i := 0; i < pool.Cap(); i++ {
+		pool.Acquire()
+	}
+	got, err = core.Analyze(sys, dropped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("inline fallback report differs from sequential")
+	}
+}
+
+// serialOnly wraps a backend without implementing
+// sched.ConcurrentAnalyzer; core.Analyze must never call it from more
+// than one goroutine at a time, whatever Workers says.
+type serialOnly struct {
+	inner   sched.Analyzer
+	inUse   atomic.Int32
+	tripped atomic.Bool
+}
+
+func (s *serialOnly) Name() string { return "serial-only" }
+
+func (s *serialOnly) Analyze(sys *platform.System, exec []sched.ExecBounds) (*sched.Result, error) {
+	if s.inUse.Add(1) > 1 {
+		s.tripped.Store(true)
+	}
+	defer s.inUse.Add(-1)
+	return s.inner.Analyze(sys, exec)
+}
+
+func TestNonConcurrentBackendFallsBackToSequential(t *testing.T) {
+	bench := benchmarks.Cruise()
+	sys, dropped, err := bench.CompiledSample(benchmarks.MapLoadBalance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := &serialOnly{inner: &sched.Holistic{}}
+	cfg := core.Config{Analyzer: so, DedupScenarios: true, Workers: 8}
+	if _, err := core.Analyze(sys, dropped, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if so.tripped.Load() {
+		t.Fatal("non-concurrency-safe backend was called concurrently")
+	}
+}

@@ -1,0 +1,78 @@
+package dse
+
+import (
+	"container/list"
+
+	"mcmap/internal/model"
+)
+
+// fitnessCache is a bounded LRU over evaluated genomes, keyed by the
+// compact Genome.Key fingerprint (allocation bits + keep bits + gene
+// section). Crossover and mutation reproduce byte-identical genomes
+// constantly — especially late in a run, when the SPEA2 archive has
+// converged — and a hit skips the whole Decode→Apply→Compile→Analyze
+// pipeline.
+//
+// It is NOT goroutine-safe: Optimize touches it only from the sequential
+// lookup and fill phases of evaluateAll, which also keeps the LRU update
+// order (and therefore the hit/miss trajectory) deterministic for a
+// given seed.
+type fitnessCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	ind *Individual
+}
+
+func newFitnessCache(capacity int) *fitnessCache {
+	return &fitnessCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached evaluation for key, refreshing its recency.
+func (c *fitnessCache) get(key string) (*Individual, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).ind, true
+}
+
+// put inserts (or refreshes) an evaluation, evicting the least recently
+// used entry past capacity.
+func (c *fitnessCache) put(key string, ind *Individual) {
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).ind = ind
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, ind: ind})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *fitnessCache) len() int { return c.ll.Len() }
+
+// cloneFor copies an evaluation and re-attributes it to genome g. Cached
+// individuals are never handed out directly: selectors mutate the
+// Fitness field in place, and an uncached run would have produced a
+// distinct Individual per duplicate genome, so trajectory equivalence
+// requires fresh objects on every hit.
+func (ind *Individual) cloneFor(g *Genome) *Individual {
+	c := *ind
+	c.Genome = g
+	c.GraphWCRT = append([]model.Time(nil), ind.GraphWCRT...)
+	c.Dropped = append([]string(nil), ind.Dropped...)
+	return &c
+}

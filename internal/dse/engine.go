@@ -12,6 +12,7 @@ import (
 	"mcmap/internal/model"
 	"mcmap/internal/power"
 	"mcmap/internal/reliability"
+	"mcmap/internal/workpool"
 )
 
 // infeasiblePenalty is the base objective value of infeasible candidates;
@@ -54,8 +55,21 @@ type Options struct {
 	Seed        int64
 	// MutationRate is the per-locus mutation probability (default 0.08).
 	MutationRate float64
-	// Workers bounds parallel fitness evaluations (default GOMAXPROCS).
+	// Workers is the total worker budget of the run (default GOMAXPROCS).
+	// It bounds parallel fitness evaluations AND the scenario fan-out
+	// nested inside each one: all layers draw from one shared workpool,
+	// so a 100-candidate generation can never oversubscribe to Workers²
+	// goroutines.
 	Workers int
+	// FitnessCacheSize bounds the LRU fitness-memoization cache in
+	// genomes. Zero selects the default (4096); negative disables
+	// memoization. Duplicate genomes produced by crossover/mutation and
+	// the persistent SPEA2 archive then skip Decode→Apply→Compile→
+	// Analyze entirely; hit/miss counts surface in Stats and GenStat.
+	// Memoization never changes the optimization trajectory: evaluation
+	// is deterministic per genome, and cache hits are replayed as fresh
+	// Individual values.
+	FitnessCacheSize int
 	// Selector is the environmental selection strategy (default SPEA2,
 	// as in the paper).
 	Selector Selector
@@ -90,6 +104,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.FitnessCacheSize == 0 {
+		o.FitnessCacheSize = 4096
+	}
 	if o.Selector == nil {
 		o.Selector = SPEA2{}
 	}
@@ -102,6 +119,10 @@ type GenStat struct {
 	BestPower   float64
 	Feasible    int
 	ArchiveSize int
+	// CacheHits and CacheMisses are this generation's fitness-cache
+	// outcomes (both zero when memoization is disabled).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Stats aggregates exploration statistics over every evaluated candidate
@@ -118,6 +139,12 @@ type Stats struct {
 	// TechniqueCounts tallies hardening techniques over feasible
 	// candidates' applied (non-None) decisions.
 	TechniqueCounts map[hardening.Technique]int
+	// CacheHits counts candidates served from the fitness cache (their
+	// Decode→Apply→Compile→Analyze pipeline was skipped); CacheMisses
+	// counts candidates actually evaluated. Hits + misses = Evaluated
+	// when memoization is on; both stay zero when it is disabled.
+	CacheHits   int
+	CacheMisses int
 }
 
 // RescueRatio is the Section 5.2 headline number: the fraction of
@@ -162,6 +189,18 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &Result{Stats: Stats{TechniqueCounts: map[hardening.Technique]int{}}}
 
+	// One worker budget for the whole run: candidate evaluations acquire
+	// from the pool, and the scenario fan-out nested inside core.Analyze
+	// borrows spare tokens from the same pool (see workpool).
+	ev := evaluator{
+		cfg:  p.Analysis,
+		pool: workpool.New(opts.Workers),
+	}
+	ev.cfg.Pool = ev.pool
+	if opts.FitnessCacheSize > 0 {
+		ev.cache = newFitnessCache(opts.FitnessCacheSize)
+	}
+
 	prepare := func(g *Genome) *Genome {
 		if opts.DisableDropping {
 			for i := range g.Keep {
@@ -186,12 +225,12 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	for len(genomes) < opts.PopSize {
 		genomes = append(genomes, prepare(p.RandomGenome(rng)))
 	}
-	pop, err := p.evaluateAll(genomes, opts, &res.Stats)
+	pop, gc, err := p.evaluateAll(genomes, opts, ev, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
 	archive := opts.Selector.Select(pop, opts.ArchiveSize)
-	res.History = append(res.History, snapshot(0, archive))
+	res.History = append(res.History, snapshot(0, archive, gc))
 
 	for gen := 1; gen <= opts.Generations; gen++ {
 		parents := opts.Selector.Parents(archive, opts.PopSize, rng)
@@ -203,13 +242,13 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 			p.Mutate(child, opts.MutationRate, rng)
 			offspring = append(offspring, prepare(child))
 		}
-		evaluated, err := p.evaluateAll(offspring, opts, &res.Stats)
+		evaluated, gc, err := p.evaluateAll(offspring, opts, ev, &res.Stats)
 		if err != nil {
 			return nil, err
 		}
 		union := append(append([]*Individual(nil), archive...), evaluated...)
 		archive = opts.Selector.Select(union, opts.ArchiveSize)
-		res.History = append(res.History, snapshot(gen, archive))
+		res.History = append(res.History, snapshot(gen, archive, gc))
 	}
 
 	// Harvest.
@@ -226,8 +265,9 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 }
 
 // snapshot records one generation.
-func snapshot(gen int, archive []*Individual) GenStat {
-	gs := GenStat{Gen: gen, BestPower: -1, ArchiveSize: len(archive)}
+func snapshot(gen int, archive []*Individual, gc genCacheStats) GenStat {
+	gs := GenStat{Gen: gen, BestPower: -1, ArchiveSize: len(archive),
+		CacheHits: gc.hits, CacheMisses: gc.misses}
 	for _, ind := range archive {
 		if !ind.Feasible {
 			continue
@@ -279,27 +319,102 @@ func paretoFront(archive []*Individual) []*Individual {
 	return out
 }
 
-// evaluateAll evaluates genomes in parallel and folds statistics.
-func (p *Problem) evaluateAll(genomes []*Genome, opts Options, stats *Stats) ([]*Individual, error) {
+// evaluator bundles the per-run evaluation machinery: the analysis
+// config wired to the shared worker pool, and the optional fitness cache.
+type evaluator struct {
+	cfg   core.Config
+	pool  *workpool.Pool
+	cache *fitnessCache
+}
+
+// genCacheStats is one batch's fitness-cache outcome.
+type genCacheStats struct{ hits, misses int }
+
+// evaluateAll scores a batch of genomes and folds statistics. It runs in
+// three phases so the result — including the cache hit/miss trajectory —
+// is deterministic for a given seed:
+//
+//  1. sequential cache lookup in batch order (duplicates within the
+//     batch collapse onto one evaluation);
+//  2. parallel evaluation of the misses under the shared worker pool;
+//  3. sequential merge in batch order: hits are replayed as fresh
+//     Individuals, misses fill the cache.
+func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, stats *Stats) ([]*Individual, genCacheStats, error) {
 	out := make([]*Individual, len(genomes))
+	var gc genCacheStats
+
+	// ---- Phase 1: lookups and intra-batch dedup (sequential) ----------
+	toEval := make([]int, 0, len(genomes))
+	var (
+		keys     []string
+		hits     []*Individual
+		firstIdx map[string]int
+		dupOf    map[int]int
+	)
+	if ev.cache != nil {
+		keys = make([]string, len(genomes))
+		hits = make([]*Individual, len(genomes))
+		firstIdx = make(map[string]int, len(genomes))
+		dupOf = make(map[int]int)
+		for i, g := range genomes {
+			keys[i] = g.Key()
+			if ind, ok := ev.cache.get(keys[i]); ok {
+				hits[i] = ind
+				continue
+			}
+			if j, ok := firstIdx[keys[i]]; ok {
+				dupOf[i] = j
+				continue
+			}
+			firstIdx[keys[i]] = i
+			toEval = append(toEval, i)
+		}
+	} else {
+		for i := range genomes {
+			toEval = append(toEval, i)
+		}
+	}
+
+	// ---- Phase 2: evaluate the misses (parallel) ----------------------
 	errs := make([]error, len(genomes))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i := range genomes {
+	for _, i := range toEval {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = p.Evaluate(genomes[i], opts.TrackDroppingGain)
+			ev.pool.Acquire()
+			defer ev.pool.Release()
+			out[i], errs[i] = p.evaluate(genomes[i], opts.TrackDroppingGain, ev.cfg)
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("dse: evaluating candidate %d: %w", i, err)
+	for _, i := range toEval {
+		if errs[i] != nil {
+			return nil, gc, fmt.Errorf("dse: evaluating candidate %d: %w", i, errs[i])
 		}
 	}
+
+	// ---- Phase 3: merge and fill the cache (sequential, batch order) --
+	if ev.cache != nil {
+		for i := range genomes {
+			switch {
+			case hits[i] != nil:
+				gc.hits++
+				out[i] = hits[i].cloneFor(genomes[i])
+			case out[i] != nil:
+				gc.misses++
+				// Store a pristine clone: the live Individual's Fitness
+				// is mutated by the selector.
+				ev.cache.put(keys[i], out[i].cloneFor(out[i].Genome))
+			default: // intra-batch duplicate of an evaluated genome
+				gc.hits++
+				out[i] = out[dupOf[i]].cloneFor(genomes[i])
+			}
+		}
+		stats.CacheHits += gc.hits
+		stats.CacheMisses += gc.misses
+	}
+
 	for _, ind := range out {
 		stats.Evaluated++
 		if ind.Feasible {
@@ -320,12 +435,18 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, stats *Stats) ([]
 			}
 		}
 	}
-	return out, nil
+	return out, gc, nil
 }
 
-// Evaluate scores one (already repaired) genome. It is pure and safe for
-// concurrent use.
+// Evaluate scores one (already repaired) genome with the problem's
+// configured analysis. It is pure and safe for concurrent use.
 func (p *Problem) Evaluate(g *Genome, trackNoDrop bool) (*Individual, error) {
+	return p.evaluate(g, trackNoDrop, p.Analysis)
+}
+
+// evaluate is Evaluate with an explicit analysis config, letting the GA
+// wire in the run's shared worker pool without mutating the Problem.
+func (p *Problem) evaluate(g *Genome, trackNoDrop bool, cfg core.Config) (*Individual, error) {
 	ph, err := p.Decode(g)
 	if err != nil {
 		return nil, err
@@ -374,7 +495,7 @@ func (p *Problem) Evaluate(g *Genome, trackNoDrop bool) (*Individual, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Analyze(sys, ph.Dropped, p.Analysis)
+	rep, err := core.Analyze(sys, ph.Dropped, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +508,7 @@ func (p *Problem) Evaluate(g *Genome, trackNoDrop bool) (*Individual, error) {
 
 	ind.Feasible = rep.Feasible() && rel.OK()
 	if trackNoDrop {
-		repND, err := core.Analyze(sys, core.DropSet{}, p.Analysis)
+		repND, err := core.Analyze(sys, core.DropSet{}, cfg)
 		if err != nil {
 			return nil, err
 		}

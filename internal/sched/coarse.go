@@ -33,6 +33,10 @@ type Coarse struct {
 // Name implements Analyzer.
 func (c *Coarse) Name() string { return "coarse-sum" }
 
+// ConcurrencySafe implements ConcurrentAnalyzer: Analyze keeps all
+// mutable state on the stack and in its Result.
+func (c *Coarse) ConcurrencySafe() bool { return true }
+
 func (c *Coarse) maxOuterIters() int {
 	if c.MaxOuterIters > 0 {
 		return c.MaxOuterIters
@@ -120,4 +124,4 @@ func (c *Coarse) Analyze(sys *platform.System, exec []ExecBounds) (*Result, erro
 	return res, nil
 }
 
-var _ Analyzer = (*Coarse)(nil)
+var _ ConcurrentAnalyzer = (*Coarse)(nil)

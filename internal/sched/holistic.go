@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"sync"
+
 	"mcmap/internal/model"
 	"mcmap/internal/platform"
 )
@@ -31,15 +33,61 @@ import (
 // which the feasibility check enforces (every deadline <= period <=
 // hyperperiod boundary). Overloaded designs surface as deadline misses,
 // reported via Result.Schedulable.
+//
+// A Holistic instance is safe for concurrent use: Analyze keeps all
+// per-call state in a Result or in pooled scratch buffers, so one
+// instance may be shared by every worker of a parallel scenario fan-out.
+// Do not copy a Holistic after first use (it embeds a sync.Pool).
 type Holistic struct {
 	// MaxOuterIters caps the outer fixed point; zero selects the default
 	// (256). Hitting the cap saturates unconverged jobs to infinity,
 	// which keeps the result safe.
 	MaxOuterIters int
+
+	// scratch recycles the fixed-point working sets across Analyze calls.
+	// Under the DSE loop the backend runs millions of times on
+	// same-sized systems; reusing the buffers removes the dominant
+	// allocation churn from the hot path.
+	scratch sync.Pool
+}
+
+// holisticScratch is one worker's reusable working set.
+type holisticScratch struct {
+	minAct, maxFinish, activation []model.Time
+	busDelay                      map[edgeKey]model.Time
+	msgs                          []busMsg
+}
+
+func (h *Holistic) getScratch(n int) *holisticScratch {
+	s, _ := h.scratch.Get().(*holisticScratch)
+	if s == nil {
+		s = &holisticScratch{busDelay: make(map[edgeKey]model.Time)}
+	}
+	s.minAct = resizeTimes(s.minAct, n)
+	s.maxFinish = resizeTimes(s.maxFinish, n)
+	s.activation = resizeTimes(s.activation, n)
+	return s
+}
+
+// resizeTimes returns a zeroed slice of length n, reusing capacity.
+func resizeTimes(s []model.Time, n int) []model.Time {
+	if cap(s) < n {
+		return make([]model.Time, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // Name implements Analyzer.
 func (h *Holistic) Name() string { return "holistic-job-rta" }
+
+// ConcurrencySafe implements ConcurrentAnalyzer: all per-call state lives
+// in the Result or in pooled scratch, so one instance serves any number
+// of concurrent Analyze calls.
+func (h *Holistic) ConcurrencySafe() bool { return true }
 
 func (h *Holistic) maxOuterIters() int {
 	if h.MaxOuterIters > 0 {
@@ -55,6 +103,8 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 	}
 	n := len(sys.Nodes)
 	res := &Result{Bounds: make([]Bounds, n)}
+	s := h.getScratch(n)
+	defer h.scratch.Put(s)
 
 	// ---- Phase A: precedence-only best-case pass ------------------------
 	// minAct[i] is a lower bound on job i's ACTIVATION (all inputs
@@ -65,13 +115,13 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 	// before i's activation cannot delay it, but a job finishing before
 	// i's (interference-delayed) start may be the very reason the start is
 	// late.
-	minAct := make([]model.Time, n)
+	minAct := s.minAct
 	h.bestCasePrec(sys, exec, res, minAct)
 
 	// ---- Phase B: worst-case fixed point --------------------------------
-	maxFinish := make([]model.Time, n)
-	activation := make([]model.Time, n)
-	diverged := h.worstPass(sys, exec, res, minAct, maxFinish, activation)
+	maxFinish := s.maxFinish
+	activation := s.activation
+	diverged := h.worstPass(sys, exec, res, minAct, maxFinish, activation, s)
 
 	if !diverged {
 		// ---- Phase C: best-case improvement ------------------------------
@@ -83,7 +133,7 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 		// activation bounds used by the exclusion tests.
 		if h.improveBestCase(sys, exec, res, minAct, activation) {
 			// ---- Phase D: re-run the worst case with tighter exclusions.
-			diverged = h.worstPass(sys, exec, res, minAct, maxFinish, activation)
+			diverged = h.worstPass(sys, exec, res, minAct, maxFinish, activation, s)
 		}
 	}
 
@@ -125,19 +175,19 @@ func (h *Holistic) bestCasePrec(sys *platform.System, exec []ExecBounds, res *Re
 // worstPass runs the outer worst-case fixed point, filling maxFinish and
 // activation. It reports whether the recurrences failed to converge
 // (treated as divergence).
-func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Result, minAct, maxFinish, activation []model.Time) bool {
+func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Result, minAct, maxFinish, activation []model.Time, s *holisticScratch) bool {
 	for i := range maxFinish {
 		maxFinish[i] = res.Bounds[i].MinFinish
 		activation[i] = res.Bounds[i].MinStart
 	}
 	limit := sys.Hyperperiod * 4
-	busDelay := h.initBusDelays(sys)
+	busDelay := h.initBusDelays(sys, s.busDelay)
 
 	iters := 0
 	for ; iters < h.maxOuterIters(); iters++ {
 		changed := false
 		if sys.Arch.Fabric.Arbitrated() {
-			if h.updateBusDelays(sys, exec, res, maxFinish, activation, busDelay) {
+			if h.updateBusDelays(sys, exec, res, maxFinish, busDelay, s) {
 				changed = true
 			}
 		}
@@ -336,11 +386,25 @@ func (h *Holistic) worstFinish(sys *platform.System, exec []ExecBounds, minAct, 
 
 type edgeKey struct{ from, to platform.NodeID }
 
-func (h *Holistic) initBusDelays(sys *platform.System) map[edgeKey]model.Time {
+// busMsg is one cross-processor message competing for the arbitrated
+// fabric (see updateBusDelays).
+type busMsg struct {
+	key    edgeKey
+	c      model.Time
+	prio   int
+	sender platform.NodeID
+	// domain partitions the contention space (0 = shared bus; per
+	// destination processor under crossbar arbitration).
+	domain int
+}
+
+// initBusDelays resets the reusable delay map to the uncontended
+// transmission times.
+func (h *Holistic) initBusDelays(sys *platform.System, out map[edgeKey]model.Time) map[edgeKey]model.Time {
 	if !sys.Arch.Fabric.Arbitrated() {
 		return nil
 	}
-	out := make(map[edgeKey]model.Time)
+	clear(out)
 	for _, node := range sys.Nodes {
 		for _, e := range node.Out {
 			if e.Delay > 0 {
@@ -359,21 +423,12 @@ func (h *Holistic) initBusDelays(sys *platform.System) map[edgeKey]model.Time {
 // (sender certainly finished before this sender could start, or certainly
 // starts after this message's window). Returns true when any delay
 // changed.
-func (h *Holistic) updateBusDelays(sys *platform.System, exec []ExecBounds, res *Result, maxFinish, activation []model.Time, delays map[edgeKey]model.Time) bool {
-	type msg struct {
-		key    edgeKey
-		c      model.Time
-		prio   int
-		sender platform.NodeID
-		// domain partitions the contention space (0 = shared bus; per
-		// destination processor under crossbar arbitration).
-		domain int
-	}
+func (h *Holistic) updateBusDelays(sys *platform.System, exec []ExecBounds, res *Result, maxFinish []model.Time, delays map[edgeKey]model.Time, s *holisticScratch) bool {
 	// Under crossbar arbitration, messages contend only with messages to
 	// the same destination processor; the shared bus is one contention
 	// domain for everything.
 	crossbar := sys.Arch.Fabric.EffectiveKind() == model.FabricCrossbar
-	var msgs []msg
+	msgs := s.msgs[:0]
 	for _, node := range sys.Nodes {
 		for _, e := range node.Out {
 			if e.Delay <= 0 {
@@ -386,12 +441,13 @@ func (h *Holistic) updateBusDelays(sys *platform.System, exec []ExecBounds, res 
 			if crossbar {
 				dom = int(sys.Nodes[e.To].Proc) + 1
 			}
-			msgs = append(msgs, msg{
+			msgs = append(msgs, busMsg{
 				key: edgeKey{e.From, e.To}, c: e.Delay,
 				prio: node.Priority, sender: e.From, domain: dom,
 			})
 		}
 	}
+	s.msgs = msgs
 	limit := sys.Hyperperiod * 4
 	changed := false
 	for _, m := range msgs {
@@ -439,4 +495,4 @@ func (h *Holistic) updateBusDelays(sys *platform.System, exec []ExecBounds, res 
 	return changed
 }
 
-var _ Analyzer = (*Holistic)(nil)
+var _ ConcurrentAnalyzer = (*Holistic)(nil)

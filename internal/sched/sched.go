@@ -60,6 +60,19 @@ type Analyzer interface {
 	Name() string
 }
 
+// ConcurrentAnalyzer is an optional extension implemented by backends
+// whose Analyze method is safe for concurrent use on one shared instance.
+// core.Analyze fans scenario analyses out over workers only when the
+// configured backend implements this interface and reports true;
+// otherwise it falls back to the sequential engine, so third-party
+// backends are never called concurrently without opting in.
+type ConcurrentAnalyzer interface {
+	Analyzer
+	// ConcurrencySafe reports whether this instance may be shared by
+	// multiple goroutines calling Analyze simultaneously.
+	ConcurrencySafe() bool
+}
+
 // NominalExec builds the fault-free execution intervals: each task's
 // nominal [bcet, wcet] including the detection overhead of re-executable
 // tasks (the k = 0 case of Eq. 1). Passive replicas are NOT zeroed here;

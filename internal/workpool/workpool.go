@@ -1,0 +1,60 @@
+// Package workpool provides a shared, bounded worker budget for nested
+// parallelism.
+//
+// The GA evaluates candidates in parallel, and each evaluation runs
+// Algorithm 1, which fans per-trigger scenario analyses out over workers
+// of its own. Giving each layer an independent limit of W workers allows
+// W*W runnable goroutines; sharing one Pool between the layers caps the
+// whole computation at W.
+//
+// The protocol that makes nesting deadlock-free is asymmetric:
+//
+//   - the OUTER layer calls Acquire (blocking) once per unit of work and
+//     Release when done;
+//   - an INNER layer that wants extra helpers calls TryAcquire
+//     (non-blocking) per helper and falls back to running inline on the
+//     caller's goroutine when the budget is exhausted.
+//
+// Because an inner layer never blocks waiting for a slot its own caller
+// transitively holds, progress is always possible: every Acquire holder
+// can complete its work inline.
+package workpool
+
+// Pool is a counting semaphore bounding concurrently running workers.
+// The zero value is not usable; construct with New. All methods are safe
+// for concurrent use.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New returns a pool admitting up to n concurrent workers. Values below
+// one are clamped to one.
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the pool's worker budget.
+func (p *Pool) Cap() int { return cap(p.sem) }
+
+// Acquire blocks until a worker slot is available. Outer-layer use only;
+// see the package comment for the nesting protocol.
+func (p *Pool) Acquire() { p.sem <- struct{}{} }
+
+// TryAcquire claims a worker slot if one is immediately available and
+// reports whether it did. Inner layers must use this (never Acquire) so
+// that nested fan-out degrades to inline execution instead of
+// deadlocking.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by Acquire or a successful TryAcquire.
+func (p *Pool) Release() { <-p.sem }

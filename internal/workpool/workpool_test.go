@@ -1,0 +1,82 @@
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCapClamp(t *testing.T) {
+	if got := New(0).Cap(); got != 1 {
+		t.Fatalf("New(0).Cap() = %d, want 1", got)
+	}
+	if got := New(-3).Cap(); got != 1 {
+		t.Fatalf("New(-3).Cap() = %d, want 1", got)
+	}
+	if got := New(7).Cap(); got != 7 {
+		t.Fatalf("New(7).Cap() = %d, want 7", got)
+	}
+}
+
+func TestTryAcquireBudget(t *testing.T) {
+	p := New(2)
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("expected two successful TryAcquire on a pool of 2")
+	}
+	if p.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past the budget")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("TryAcquire failed after a Release")
+	}
+}
+
+// TestNestedBudget exercises the outer-Acquire / inner-TryAcquire nesting
+// protocol and asserts the combined concurrency never exceeds the budget.
+func TestNestedBudget(t *testing.T) {
+	const budget = 4
+	p := New(budget)
+	var running, peak atomic.Int64
+
+	enter := func() {
+		if r := running.Add(1); r > peak.Load() {
+			peak.Store(r)
+		}
+	}
+	leave := func() { running.Add(-1) }
+
+	var outer sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			p.Acquire()
+			defer p.Release()
+			enter()
+			defer leave()
+			// Inner fan-out: helpers only while the shared budget allows.
+			var inner sync.WaitGroup
+			for j := 0; j < 8; j++ {
+				if !p.TryAcquire() {
+					continue // inline fallback: already counted as running
+				}
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					defer p.Release()
+					enter()
+					defer leave()
+				}()
+			}
+			inner.Wait()
+		}()
+	}
+	outer.Wait()
+	if got := peak.Load(); got > budget {
+		t.Fatalf("peak concurrency %d exceeded budget %d", got, budget)
+	}
+	if running.Load() != 0 {
+		t.Fatalf("running count %d after completion", running.Load())
+	}
+}
