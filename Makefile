@@ -2,7 +2,7 @@
 # extra dependencies are required.
 
 GO       ?= go
-BENCH    ?= BenchmarkAnalyzeParallel|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic
+BENCH    ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic
 BENCHOUT ?= BENCH_core.json
 
 .PHONY: build test test-race bench clean

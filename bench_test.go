@@ -337,6 +337,86 @@ func BenchmarkDSEMemoization(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeIncremental measures the warm-started scenario
+// analysis of Algorithm 1 on DT-large against the cold per-scenario
+// re-analysis, at one and eight workers, plus the effect of dominance
+// pruning on top. Every variant produces the same WCRTs and verdicts
+// (see TestIncrementalReportEquivalence / TestPrunedReportEquivalence).
+func BenchmarkAnalyzeIncremental(b *testing.B) {
+	bench := benchmarks.DTLarge()
+	sys, dropped, err := bench.CompiledSample(benchmarks.MapLoadBalance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sparseBench := benchmarks.Synth(benchmarks.SynthConfig{
+		Name: "sparse", Procs: 12, CriticalApps: 4, DroppableApps: 4,
+		MinTasks: 2, MaxTasks: 4, Seed: 3,
+	})
+	sparseSys, sparseDropped, err := sparseBench.CompiledSample(benchmarks.MapLoadBalance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name        string
+		sys         *platform.System
+		dropped     core.DropSet
+		incremental bool
+		prune       bool
+		workers     int
+	}{
+		{"dt-large/cold/workers=1", sys, dropped, false, false, 1},
+		{"dt-large/incremental/workers=1", sys, dropped, true, false, 1},
+		{"dt-large/incremental+prune/workers=1", sys, dropped, true, true, 1},
+		{"dt-large/cold/workers=8", sys, dropped, false, false, 8},
+		{"dt-large/incremental/workers=8", sys, dropped, true, false, 8},
+		{"sparse/cold/workers=1", sparseSys, sparseDropped, false, false, 1},
+		{"sparse/incremental/workers=1", sparseSys, sparseDropped, true, false, 1},
+		{"sparse/incremental+prune/workers=1", sparseSys, sparseDropped, true, true, 1},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := core.NewConfig()
+			cfg.Incremental = c.incremental
+			cfg.PruneDominated = c.prune
+			cfg.Workers = c.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(c.sys, c.dropped, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioDedup isolates scenario construction + deduplication
+// by running Algorithm 1 under the cheap Coarse backend, where vector
+// building and the fingerprint index dominate. allocs/op is the
+// regression signal for the zero-allocation dedup path (the superseded
+// string-key dedup allocated one 16·|V|-byte key per trigger).
+func BenchmarkScenarioDedup(b *testing.B) {
+	bench := benchmarks.DTLarge()
+	sys, dropped, err := bench.CompiledSample(benchmarks.MapLoadBalance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dedup := range []bool{true, false} {
+		name := "dedup"
+		if !dedup {
+			name = "nodedup"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{Analyzer: &sched.Coarse{}, DedupScenarios: dedup}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(sys, dropped, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Micro-benchmarks -----------------------------------------------------------
 
 // BenchmarkHolisticBackend measures one backend invocation (the sched

@@ -33,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small budgets for a fast smoke run")
 	seed := flag.Int64("seed", 1, "seed for all stochastic components")
 	workers := flag.Int("workers", 0, "worker budget shared by GA fitness evaluation and scenario analysis (0 = GOMAXPROCS)")
+	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -49,6 +50,7 @@ func main() {
 	}
 	opts := gaOptions(*quick, *seed)
 	opts.Workers = *workers
+	opts.PruneDominated = *prune
 	mcRuns := 10000
 	if *quick {
 		mcRuns = 500

@@ -24,6 +24,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker budget shared by GA fitness evaluation and scenario analysis (0 = GOMAXPROCS)")
 	noDrop := flag.Bool("nodrop", false, "disable task dropping (T_d always empty)")
 	track := flag.Bool("track", false, "track the dropping-rescue ratio (doubles analysis cost)")
+	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
 	out := flag.String("o", "", "write the best design's spec (arch+apps+mapping) to this JSON file")
 	csvPrefix := flag.String("csv", "", "write <prefix>-front.csv and <prefix>-history.csv for plotting")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,13 +63,15 @@ func main() {
 	}
 	res, err := mcmap.Optimize(p, mcmap.DSEOptions{
 		PopSize: *pop, Generations: *gens, Seed: *seed, Workers: *workers,
-		DisableDropping: *noDrop, TrackDroppingGain: *track,
+		DisableDropping: *noDrop, TrackDroppingGain: *track, PruneDominated: *prune,
 	})
 	if err != nil {
 		fatal(stopProf, err)
 	}
 
 	fmt.Printf("evaluated %d candidates, %d feasible\n", res.Stats.Evaluated, res.Stats.Feasible)
+	fmt.Printf("scenario analyses: %d run (%d deduplicated, %d pruned, %d warm-started)\n",
+		res.Stats.ScenariosAnalyzed, res.Stats.ScenariosDeduped, res.Stats.ScenariosPruned, res.Stats.ScenariosIncremental)
 	if *track {
 		fmt.Printf("rescued by dropping: %.2f%%; re-execution share: %.2f%%\n",
 			100*res.Stats.RescueRatio(), 100*res.Stats.ReExecutionShare())

@@ -19,6 +19,7 @@ func main() {
 	drop := flag.String("drop", "*", "comma-separated droppable applications to drop in critical mode; '*' = all, '' = none")
 	simRuns := flag.Int("sim", 0, "additionally run this many Monte-Carlo failure profiles")
 	slack := flag.Bool("slack", false, "report per-task WCET slack (sensitivity analysis)")
+	prune := flag.Bool("prune", false, "skip fault scenarios dominated by an already analyzed one (same WCRTs and verdicts; fewer backend runs)")
 	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
 	flag.Parse()
 	if *spec == "" {
@@ -52,7 +53,9 @@ func main() {
 		}
 	}
 
-	rep, err := mcmap.AnalyzeWCRT(sys, dropped)
+	cfg := mcmap.NewAnalysisConfig()
+	cfg.PruneDominated = *prune
+	rep, err := mcmap.AnalyzeWCRTWith(sys, dropped, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +74,8 @@ func main() {
 		fmt.Printf("%-20s %12v %12v %10s %s\n", g.Name, w, g.EffectiveDeadline(), class, verdict)
 	}
 	fmt.Printf("\nfeasible: %v (normal-state %v, critical-state %v)\n", rep.Feasible(), rep.NormalOK, rep.CriticalOK)
-	fmt.Printf("scenarios analyzed: %d (deduplicated: %d)\n", rep.ScenariosAnalyzed, rep.ScenariosDeduped)
+	fmt.Printf("scenarios analyzed: %d (deduplicated: %d, pruned: %d, warm-started: %d)\n",
+		rep.ScenariosAnalyzed, rep.ScenariosDeduped, rep.ScenariosPruned, rep.ScenariosIncremental)
 
 	if *slack {
 		rows, err := mcmap.Sensitivity(sys, dropped)

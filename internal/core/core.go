@@ -69,6 +69,27 @@ type Config struct {
 	// classifications). It is enabled by default in NewConfig; the zero
 	// Config leaves it off for strict paper fidelity.
 	DedupScenarios bool
+	// Incremental warm-starts every scenario analysis when the backend
+	// implements sched.IncrementalAnalyzer. The engine analyzes one
+	// extra reference vector — the all-critical state, which scenario
+	// vectors resemble far more closely than the fault-free one (most
+	// entries of every scenario are critical-state inflations) — then
+	// diffs each scenario against it and re-derives only the affected
+	// part of the fixed point. The reported bounds are identical to a
+	// cold analysis (see sched.IncrementalAnalyzer); backends without
+	// the interface silently fall back to full analysis. Enabled by
+	// default in NewConfig; the zero Config leaves it off.
+	Incremental bool
+	// PruneDominated skips scenarios whose execution-interval vector is
+	// pointwise dominated by an already kept scenario's (every task
+	// interval contained in the other's): the holistic bounds are
+	// monotone in the interval widths, so a dominated scenario cannot
+	// raise any completion-time maximum and contributes nothing to
+	// GraphWCRT/TaskWCRT or the verdicts. Pruned scenarios are missing
+	// from Report.Scenarios (Explain may attribute a shared maximum to a
+	// different trigger), and are counted in Report.ScenariosPruned.
+	// Off by default — the paper analyzes every trigger.
+	PruneDominated bool
 	// Workers bounds how many per-trigger scenario analyses run
 	// concurrently. Zero selects runtime.GOMAXPROCS(0); one forces the
 	// sequential engine. Parallelism requires a backend implementing
@@ -107,10 +128,12 @@ func (c Config) workers(analyzer sched.Analyzer) int {
 }
 
 // NewConfig returns the recommended configuration: holistic backend with
-// scenario deduplication and parallel scenario fan-out over GOMAXPROCS
-// workers.
+// scenario deduplication, incremental warm-started scenario analysis and
+// parallel scenario fan-out over GOMAXPROCS workers. Dominance pruning
+// stays opt-in: it thins Report.Scenarios, which Explain consumers may
+// not want.
 func NewConfig() Config {
-	return Config{Analyzer: &sched.Holistic{}, DedupScenarios: true}
+	return Config{Analyzer: &sched.Holistic{}, DedupScenarios: true, Incremental: true}
 }
 
 // Scenario identifies one state-transition hypothesis: the trigger job
@@ -158,6 +181,12 @@ type Report struct {
 	// saved by deduplication.
 	ScenariosAnalyzed int
 	ScenariosDeduped  int
+	// ScenariosPruned counts scenarios skipped by dominance pruning
+	// (Config.PruneDominated); ScenariosIncremental counts backend
+	// invocations that were warm-started from the fault-free baseline
+	// (Config.Incremental with a capable backend).
+	ScenariosPruned      int
+	ScenariosIncremental int
 }
 
 // Feasible reports the combined schedulability verdict: fault-free
@@ -216,7 +245,22 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	// and in trigger order, so the dedup semantics and counters match the
 	// sequential engine exactly; only the backend invocations fan out.
 	jobs := scenarioJobs(sys, dropped, normal, cfg, rep)
-	results, err := analyzeScenarios(analyzer, sys, jobs, cfg)
+	var base *incrementalBase
+	if inc, ok := analyzer.(sched.IncrementalAnalyzer); ok && cfg.Incremental && len(jobs) > 0 {
+		// Warm-start baseline: the all-critical reference vector, not the
+		// fault-free one. Every scenario leaves most jobs in the critical
+		// state, so diffing against the critical reference yields far
+		// smaller dirty sets (on sparse systems, near-empty ones). The
+		// one extra backend invocation amortizes over the scenario set;
+		// it is deliberately absent from Report.Scenarios* counters,
+		// which keep their cold-engine semantics.
+		refExec := criticalExec(sys, dropped)
+		if refRes, refErr := analyzer.Analyze(sys, refExec); refErr == nil && !diverged(refRes) {
+			base = &incrementalBase{analyzer: inc, result: refRes, exec: refExec}
+			rep.ScenariosIncremental = len(jobs)
+		}
+	}
+	results, err := analyzeScenarios(analyzer, sys, jobs, cfg, base)
 	if err != nil {
 		return nil, err
 	}
@@ -230,14 +274,19 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	return rep, nil
 }
 
-// scenarioJobs builds the deduplicated per-trigger work list in
-// deterministic trigger order, charging skipped duplicates to the report.
+// scenarioJobs builds the deduplicated, optionally dominance-pruned
+// per-trigger work list in deterministic trigger order, charging skipped
+// duplicates and pruned scenarios to the report. Rejected vectors are
+// recycled into the next trigger's construction, so the scenario hot
+// path allocates one vector per KEPT scenario, not per trigger.
 func scenarioJobs(sys *platform.System, dropped DropSet, normal *sched.Result, cfg Config, rep *Report) []scenarioJob {
 	var jobs []scenarioJob
-	var seen map[string]bool
+	var index *execIndex
 	if cfg.DedupScenarios {
-		seen = make(map[string]bool)
+		index = newExecIndex(16)
 	}
+	free := execFreelist{n: len(sys.Nodes)}
+	vecOf := func(i int32) []sched.ExecBounds { return jobs[i].exec }
 	for _, v := range sys.Nodes {
 		if !isTrigger(v) {
 			continue
@@ -247,18 +296,42 @@ func scenarioJobs(sys *platform.System, dropped DropSet, normal *sched.Result, c
 			WindowLo: normal.Bounds[v.ID].MinStart,
 			WindowHi: normal.Bounds[v.ID].MaxFinish,
 		}
-		exec := ScenarioExec(sys, dropped, normal, sc)
+		exec := free.get()
+		scenarioExecInto(exec, sys, dropped, normal, sc)
+		var h execHash
 		if cfg.DedupScenarios {
-			key := execKey(exec)
-			if seen[key] {
+			h = hashExec(exec)
+			if index.lookup(h, exec, vecOf) {
 				rep.ScenariosDeduped++
+				free.put(exec)
 				continue
 			}
-			seen[key] = true
+		}
+		if cfg.PruneDominated && prunedByDominance(jobs, exec) {
+			rep.ScenariosPruned++
+			free.put(exec)
+			continue
+		}
+		if cfg.DedupScenarios {
+			index.insert(h, int32(len(jobs)))
 		}
 		jobs = append(jobs, scenarioJob{sc: sc, exec: exec})
 	}
 	return jobs
+}
+
+// prunedByDominance reports whether an already kept scenario's vector
+// pointwise dominates exec (see Config.PruneDominated for the soundness
+// argument). Kept scenarios are never retroactively pruned by later
+// dominating ones, keeping the work list a deterministic function of the
+// trigger order.
+func prunedByDominance(kept []scenarioJob, exec []sched.ExecBounds) bool {
+	for i := range kept {
+		if execDominates(kept[i].exec, exec) {
+			return true
+		}
+	}
+	return false
 }
 
 // diverged reports whether any bound saturated to infinity.
@@ -292,6 +365,25 @@ func NormalExec(sys *platform.System) []sched.ExecBounds {
 	return exec
 }
 
+// criticalExec builds the all-critical reference vector used to
+// warm-start scenario analyses: every job carries the bounds it takes in
+// a scenario's critical state — Eq. (1) inflation for non-dropped active
+// tasks, the may-run-or-not [0, wcet] interval for droppable and passive
+// ones. Scenario vectors differ from it only at the trigger, at jobs
+// certainly finished before the fault window and at certainly-dropped
+// jobs, so the per-scenario dirty sets stay small.
+func criticalExec(sys *platform.System, dropped DropSet) []sched.ExecBounds {
+	exec := make([]sched.ExecBounds, len(sys.Nodes))
+	for _, w := range sys.Nodes {
+		if dropped[w.Graph.Name] || w.Task.Passive {
+			exec[w.ID] = sched.ExecBounds{B: 0, W: w.NominalWCET()}
+		} else {
+			exec[w.ID] = sched.ExecBounds{B: w.NominalBCET(), W: w.HardenedWCET()}
+		}
+	}
+	return exec
+}
+
 // ScenarioExec builds the modified execution intervals for one scenario —
 // a direct transcription of lines 12-29 of Algorithm 1 at job granularity:
 // the compiled nodes are jobs with absolute windows inside the
@@ -300,13 +392,27 @@ func NormalExec(sys *platform.System) []sched.ExecBounds {
 // exactly as in the paper's Figure 3.
 func ScenarioExec(sys *platform.System, dropped DropSet, normal *sched.Result, sc Scenario) []sched.ExecBounds {
 	exec := make([]sched.ExecBounds, len(sys.Nodes))
+	scenarioExecInto(exec, sys, dropped, normal, sc)
+	return exec
+}
+
+// scenarioExecInto is ScenarioExec writing into a caller-owned vector
+// (len(exec) == len(sys.Nodes)), the allocation-free form used by the
+// scenario work-list construction.
+func scenarioExecInto(exec []sched.ExecBounds, sys *platform.System, dropped DropSet, normal *sched.Result, sc Scenario) {
 	trigger := sys.Nodes[sc.Trigger]
 	// For a dispatch trigger, the fault manifests as the invocation of the
 	// trigger's passive replicas: they actually execute in this scenario.
-	invoked := make(map[platform.NodeID]bool)
+	// The map is allocated only for dispatch triggers (and stays small —
+	// one entry per passive replica), keeping re-execution scenarios
+	// allocation-free.
+	var invoked map[platform.NodeID]bool
 	if trigger.Task.Kind == model.KindDispatch {
 		for _, e := range trigger.Out {
 			if sys.Nodes[e.To].Task.Passive {
+				if invoked == nil {
+					invoked = make(map[platform.NodeID]bool, len(trigger.Out))
+				}
 				invoked[e.To] = true
 			}
 		}
@@ -350,7 +456,6 @@ func ScenarioExec(sys *platform.System, dropped DropSet, normal *sched.Result, s
 			}
 		}
 	}
-	return exec
 }
 
 // triggerBounds gives the faulting task its failure-mode interval: full
@@ -427,24 +532,6 @@ func verdicts(sys *platform.System, rep *Report) (normalOK, criticalOK bool) {
 		}
 	}
 	return normalOK, criticalOK
-}
-
-// execKey builds a compact fingerprint of an execution-interval vector for
-// scenario deduplication.
-func execKey(exec []sched.ExecBounds) string {
-	buf := make([]byte, 0, len(exec)*16)
-	for _, e := range exec {
-		buf = appendTime(buf, e.B)
-		buf = appendTime(buf, e.W)
-	}
-	return string(buf)
-}
-
-func appendTime(buf []byte, t model.Time) []byte {
-	u := uint64(t)
-	return append(buf,
-		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 }
 
 // Binding describes which pass determines a task's reported WCRT: the

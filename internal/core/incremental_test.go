@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mcmap/internal/benchmarks"
+	"mcmap/internal/core"
+	"mcmap/internal/platform"
+	"mcmap/internal/sched"
+)
+
+// synthSample compiles one seeded random platform/mapping pair.
+func synthSample(t *testing.T, seed int64, strat benchmarks.MappingStrategy) (*platform.System, core.DropSet) {
+	t.Helper()
+	bench := benchmarks.Synth(benchmarks.SynthConfig{
+		Name: fmt.Sprintf("inc-%d", seed), Procs: 4,
+		CriticalApps: 2, DroppableApps: 2,
+		MinTasks: 3, MaxTasks: 6,
+		Seed: seed,
+	})
+	sys, dropped, err := bench.CompiledSample(strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, dropped
+}
+
+// sameBounds fails unless the two backend results agree on everything
+// the analysis contract covers: Bounds and Schedulable. Iterations is an
+// engine diagnostic and intentionally excluded (warm-started runs sweep
+// fewer times than cold ones by design).
+func sameBounds(t *testing.T, ctx string, want, got *sched.Result) {
+	t.Helper()
+	if want.Schedulable != got.Schedulable {
+		t.Fatalf("%s: schedulable = %v, want %v", ctx, got.Schedulable, want.Schedulable)
+	}
+	if !reflect.DeepEqual(want.Bounds, got.Bounds) {
+		for i := range want.Bounds {
+			if want.Bounds[i] != got.Bounds[i] {
+				t.Fatalf("%s: node %d bounds = %+v, want %+v", ctx, i, got.Bounds[i], want.Bounds[i])
+			}
+		}
+		t.Fatalf("%s: bounds differ", ctx)
+	}
+}
+
+// TestAnalyzeFromEquivalence is the backend-level property test: for
+// seeded random systems and every trigger job's scenario vector, a cold
+// Analyze, an AnalyzeFrom with a fully-dirty set, and an AnalyzeFrom
+// with the correctly-diffed dirty set must all reach the same fixed
+// point (identical Bounds and Schedulable verdict).
+func TestAnalyzeFromEquivalence(t *testing.T) {
+	h := &sched.Holistic{}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, strat := range []benchmarks.MappingStrategy{benchmarks.MapLoadBalance, benchmarks.MapSeededRandom} {
+			sys, dropped := synthSample(t, seed, strat)
+			normalExec := core.NormalExec(sys)
+			baseline, err := h.Analyze(sys, normalExec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(sys.Nodes)
+			allDirty := make([]bool, n)
+			for i := range allDirty {
+				allDirty[i] = true
+			}
+			diffed := make([]bool, n)
+			for id := range sys.Nodes {
+				sc := core.Scenario{
+					Trigger:  platform.NodeID(id),
+					WindowLo: baseline.Bounds[id].MinStart,
+					WindowHi: baseline.Bounds[id].MaxFinish,
+				}
+				exec := core.ScenarioExec(sys, dropped, baseline, sc)
+				cold, err := h.Analyze(sys, exec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := fmt.Sprintf("seed %d strat %v trigger %d", seed, strat, id)
+
+				full, err := h.AnalyzeFrom(sys, exec, baseline, allDirty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameBounds(t, ctx+" (fully dirty)", cold, full)
+
+				for i := range diffed {
+					diffed[i] = exec[i] != normalExec[i]
+				}
+				warm, err := h.AnalyzeFrom(sys, exec, baseline, diffed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameBounds(t, ctx+" (diffed)", cold, warm)
+			}
+		}
+	}
+}
+
+// reportSignature serializes everything the Report contract promises to
+// be engine-independent: the verdicts, the aggregated WCRTs, the normal
+// pass, and (when includeScenarios) every scenario's identity, exec
+// vector, bounds and verdict. Result.Iterations is excluded — it counts
+// backend sweeps and legitimately differs between cold and warm runs.
+func reportSignature(rep *core.Report, includeScenarios bool) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "normalOK=%v criticalOK=%v\n", rep.NormalOK, rep.CriticalOK)
+	fmt.Fprintf(&b, "graphWCRT=%v\ntaskWCRT=%v\n", rep.GraphWCRT, rep.TaskWCRT)
+	fmt.Fprintf(&b, "normal sched=%v bounds=%v\n", rep.Normal.Schedulable, rep.Normal.Bounds)
+	if includeScenarios {
+		fmt.Fprintf(&b, "analyzed=%d deduped=%d\n", rep.ScenariosAnalyzed, rep.ScenariosDeduped)
+		for _, sr := range rep.Scenarios {
+			fmt.Fprintf(&b, "sc trigger=%d win=[%v,%v] exec=%v sched=%v bounds=%v\n",
+				sr.Scenario.Trigger, sr.Scenario.WindowLo, sr.Scenario.WindowHi,
+				sr.Exec, sr.Result.Schedulable, sr.Result.Bounds)
+		}
+	}
+	return b.Bytes()
+}
+
+// TestIncrementalReportEquivalence checks the engine-level property: the
+// full Algorithm 1 Report under warm-started incremental analysis is
+// byte-identical (modulo the Iterations diagnostic) to the sequential
+// cold engine's, at every worker count.
+func TestIncrementalReportEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, strat := range []benchmarks.MappingStrategy{benchmarks.MapLoadBalance, benchmarks.MapSeededRandom} {
+			sys, dropped := synthSample(t, seed, strat)
+
+			ref := core.NewConfig()
+			ref.Workers = 1
+			ref.Incremental = false
+			want, err := core.Analyze(sys, dropped, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSig := reportSignature(want, true)
+
+			for _, workers := range []int{1, 8} {
+				cfg := ref
+				cfg.Incremental = true
+				cfg.Workers = workers
+				got, err := core.Analyze(sys, dropped, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(reportSignature(got, true), wantSig) {
+					t.Fatalf("seed %d strat %v workers %d: incremental report differs from cold sequential",
+						seed, strat, workers)
+				}
+				if len(got.Scenarios) > 0 && got.ScenariosIncremental == 0 {
+					t.Fatalf("seed %d strat %v workers %d: incremental path never engaged", seed, strat, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedReportEquivalence checks dominance-pruning soundness at the
+// Report level: pruning may drop dominated scenario entries, but the
+// aggregated WCRTs and both verdicts must be byte-identical to the
+// unpruned sequential engine, and every pruned scenario must be
+// accounted for by the counter.
+func TestPrunedReportEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, strat := range []benchmarks.MappingStrategy{benchmarks.MapLoadBalance, benchmarks.MapSeededRandom} {
+			sys, dropped := synthSample(t, seed, strat)
+
+			ref := core.NewConfig()
+			ref.Workers = 1
+			ref.Incremental = false
+			want, err := core.Analyze(sys, dropped, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := core.NewConfig()
+			cfg.PruneDominated = true
+			got, err := core.Analyze(sys, dropped, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(reportSignature(got, false), reportSignature(want, false)) {
+				t.Fatalf("seed %d strat %v: pruned report verdicts/WCRTs differ from unpruned", seed, strat)
+			}
+			if got.ScenariosAnalyzed+got.ScenariosDeduped+got.ScenariosPruned !=
+				want.ScenariosAnalyzed+want.ScenariosDeduped {
+				t.Fatalf("seed %d strat %v: scenario accounting off: analyzed=%d deduped=%d pruned=%d vs analyzed=%d deduped=%d",
+					seed, strat, got.ScenariosAnalyzed, got.ScenariosDeduped, got.ScenariosPruned,
+					want.ScenariosAnalyzed, want.ScenariosDeduped)
+			}
+		}
+	}
+}

@@ -15,21 +15,50 @@ type scenarioJob struct {
 	exec []sched.ExecBounds
 }
 
+// incrementalBase bundles what a warm-started scenario analysis needs:
+// the incremental backend, the fault-free baseline result, and the
+// baseline execution intervals to diff against. nil disables
+// warm-starting (backend without the interface, or Config.Incremental
+// off).
+type incrementalBase struct {
+	analyzer sched.IncrementalAnalyzer
+	result   *sched.Result
+	exec     []sched.ExecBounds
+}
+
+// analyzeJob runs one scenario's backend invocation, warm-starting from
+// the baseline when available. dirty is a caller-owned scratch slice
+// (len == nodes) that is rewritten on every call; each worker passes its
+// own, so the diff allocates nothing per scenario.
+func analyzeJob(analyzer sched.Analyzer, sys *platform.System, job *scenarioJob, base *incrementalBase, dirty []bool) (*sched.Result, error) {
+	if base == nil {
+		return analyzer.Analyze(sys, job.exec)
+	}
+	for i := range dirty {
+		dirty[i] = job.exec[i] != base.exec[i]
+	}
+	return base.analyzer.AnalyzeFrom(sys, job.exec, base.result, dirty)
+}
+
 // analyzeScenarios runs the backend over every job, fanning out over
 // Config.Workers goroutines when the backend is concurrency-safe.
 // results[i] always corresponds to jobs[i], so callers merge in
 // deterministic trigger order regardless of scheduling. The per-job
 // errors collapse to the first (lowest-index) one, matching the error
 // the sequential engine would surface.
-func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scenarioJob, cfg Config) ([]*sched.Result, error) {
+func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scenarioJob, cfg Config, base *incrementalBase) ([]*sched.Result, error) {
 	results := make([]*sched.Result, len(jobs))
 	workers := cfg.workers(analyzer)
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
+		var dirty []bool
+		if base != nil {
+			dirty = make([]bool, len(sys.Nodes))
+		}
 		for i := range jobs {
-			res, err := analyzer.Analyze(sys, jobs[i].exec)
+			res, err := analyzeJob(analyzer, sys, &jobs[i], base, dirty)
 			if err != nil {
 				return nil, err
 			}
@@ -41,12 +70,16 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 	errs := make([]error, len(jobs))
 	var next atomic.Int64
 	work := func() {
+		var dirty []bool
+		if base != nil {
+			dirty = make([]bool, len(sys.Nodes))
+		}
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(jobs) {
 				return
 			}
-			results[i], errs[i] = analyzer.Analyze(sys, jobs[i].exec)
+			results[i], errs[i] = analyzeJob(analyzer, sys, &jobs[i], base, dirty)
 		}
 	}
 

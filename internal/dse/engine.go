@@ -43,6 +43,24 @@ type Individual struct {
 	GraphWCRT []model.Time
 	// Dropped is the decoded drop set (names).
 	Dropped []string
+	// scen tallies this candidate's scenario-analysis counters. Folded
+	// into Stats only for candidates that actually ran the backend —
+	// cache replays carry their original tally but are not re-counted.
+	scen scenarioTally
+}
+
+// scenarioTally aggregates the Report scenario counters of one
+// evaluation (both the dropping and the no-dropping analysis when
+// TrackDroppingGain doubles them up).
+type scenarioTally struct {
+	analyzed, deduped, pruned, incremental int
+}
+
+func (t *scenarioTally) add(rep *core.Report) {
+	t.analyzed += rep.ScenariosAnalyzed
+	t.deduped += rep.ScenariosDeduped
+	t.pruned += rep.ScenariosPruned
+	t.incremental += rep.ScenariosIncremental
 }
 
 // Options tunes the GA run. The paper uses population = parents =
@@ -77,6 +95,11 @@ type Options struct {
 	// dropping disabled, to measure the Section 5.2 rescue ratio. It
 	// doubles the analysis cost.
 	TrackDroppingGain bool
+	// PruneDominated enables scenario dominance pruning inside every
+	// fitness evaluation (core.Config.PruneDominated): dominated fault
+	// scenarios are skipped without changing WCRTs or verdicts, which is
+	// exactly what the GA consumes. Off by default for paper fidelity.
+	PruneDominated bool
 	// DisableDropping forces every droppable application to be kept
 	// (T_d is always empty) — the "without task dropping" baseline.
 	DisableDropping bool
@@ -145,6 +168,16 @@ type Stats struct {
 	// when memoization is on; both stay zero when it is disabled.
 	CacheHits   int
 	CacheMisses int
+	// ScenariosAnalyzed..ScenariosIncremental aggregate the core.Report
+	// scenario counters over every candidate that actually ran the
+	// analysis backend (fitness-cache replays are not re-counted):
+	// backend invocations performed, plus invocations saved by
+	// deduplication, skipped by dominance pruning, and warm-started
+	// incrementally.
+	ScenariosAnalyzed    int
+	ScenariosDeduped     int
+	ScenariosPruned      int
+	ScenariosIncremental int
 }
 
 // RescueRatio is the Section 5.2 headline number: the fraction of
@@ -197,6 +230,9 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 		pool: workpool.New(opts.Workers),
 	}
 	ev.cfg.Pool = ev.pool
+	if opts.PruneDominated {
+		ev.cfg.PruneDominated = true
+	}
 	if opts.FitnessCacheSize > 0 {
 		ev.cache = newFitnessCache(opts.FitnessCacheSize)
 	}
@@ -392,6 +428,10 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 		if errs[i] != nil {
 			return nil, gc, fmt.Errorf("dse: evaluating candidate %d: %w", i, errs[i])
 		}
+		stats.ScenariosAnalyzed += out[i].scen.analyzed
+		stats.ScenariosDeduped += out[i].scen.deduped
+		stats.ScenariosPruned += out[i].scen.pruned
+		stats.ScenariosIncremental += out[i].scen.incremental
 	}
 
 	// ---- Phase 3: merge and fill the cache (sequential, batch order) --
@@ -500,6 +540,7 @@ func (p *Problem) evaluate(g *Genome, trackNoDrop bool, cfg core.Config) (*Indiv
 		return nil, err
 	}
 	ind.GraphWCRT = rep.GraphWCRT
+	ind.scen.add(rep)
 
 	rel, err := reliability.Assess(p.Arch, ph.Manifest, ph.Mapping)
 	if err != nil {
@@ -513,6 +554,7 @@ func (p *Problem) evaluate(g *Genome, trackNoDrop bool, cfg core.Config) (*Indiv
 			return nil, err
 		}
 		ind.FeasibleNoDrop = repND.Feasible() && rel.OK()
+		ind.scen.add(repND)
 	}
 
 	if ind.Feasible {

@@ -262,12 +262,15 @@ func RescueRatio(benchName string, opts dse.Options) (*RescueResult, error) {
 // RenderRescue prints the ratio table.
 func RenderRescue(rows []*RescueResult) string {
 	t := texttable.New("Section 5.2: solutions rescued by task dropping, and re-execution share")
-	t.Row("benchmark", "evaluated", "feasible", "rescued by dropping", "re-execution share")
+	t.Row("benchmark", "evaluated", "feasible", "rescued by dropping", "re-execution share", "scenario analyses")
 	t.Sep()
 	for _, r := range rows {
 		t.Row(r.Benchmark, r.Stats.Evaluated, r.Stats.Feasible,
 			fmt.Sprintf("%.2f%%", 100*r.Stats.RescueRatio()),
-			fmt.Sprintf("%.2f%%", 100*r.Stats.ReExecutionShare()))
+			fmt.Sprintf("%.2f%%", 100*r.Stats.ReExecutionShare()),
+			fmt.Sprintf("%d (-%d dedup, -%d pruned, %d warm)",
+				r.Stats.ScenariosAnalyzed, r.Stats.ScenariosDeduped,
+				r.Stats.ScenariosPruned, r.Stats.ScenariosIncremental))
 	}
 	return t.String()
 }

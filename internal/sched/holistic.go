@@ -56,6 +56,9 @@ type holisticScratch struct {
 	minAct, maxFinish, activation []model.Time
 	busDelay                      map[edgeKey]model.Time
 	msgs                          []busMsg
+	// aff and stack serve AnalyzeFrom's dirty-closure computation.
+	aff   []bool
+	stack []platform.NodeID
 }
 
 func (h *Holistic) getScratch(n int) *holisticScratch {
@@ -121,9 +124,15 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 	// ---- Phase B: worst-case fixed point --------------------------------
 	maxFinish := s.maxFinish
 	activation := s.activation
-	diverged := h.worstPass(sys, exec, res, minAct, maxFinish, activation, s)
+	diverged := h.worstPass(sys, exec, res, minAct, maxFinish, activation, s, nil)
 
+	var warm *warmState
 	if !diverged {
+		// Snapshot the post-B state: AnalyzeFrom seeds unaffected nodes
+		// of a scenario run from these values (see incremental.go).
+		warm = newWarmState(n)
+		copy(warm.maxFinishB, maxFinish)
+		copy(warm.activationB, activation)
 		// ---- Phase C: best-case improvement ------------------------------
 		// Jobs whose worst-case activation certainly precedes a
 		// lower-priority job's earliest start must complete at least their
@@ -131,9 +140,16 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 		// minStart tightens the Algorithm 1 before/after-the-fault
 		// classifications, and the improved predecessor finishes lift the
 		// activation bounds used by the exclusion tests.
-		if h.improveBestCase(sys, exec, res, minAct, activation) {
+		improved, capped := h.improveBestCase(sys, exec, res, minAct, activation, nil)
+		if improved {
 			// ---- Phase D: re-run the worst case with tighter exclusions.
-			diverged = h.worstPass(sys, exec, res, minAct, maxFinish, activation, s)
+			diverged = h.worstPass(sys, exec, res, minAct, maxFinish, activation, s, nil)
+		}
+		copy(warm.minActC, minAct)
+		if capped {
+			// The C sweep cap was hit: minActC is not a converged fixed
+			// point, so it must not seed warm starts.
+			warm = nil
 		}
 	}
 
@@ -141,7 +157,9 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 		for i := range maxFinish {
 			maxFinish[i] = model.Infinity
 		}
+		warm = nil
 	}
+	res.warm = warm
 	res.Schedulable = true
 	for i := range maxFinish {
 		res.Bounds[i].MaxFinish = maxFinish[i]
@@ -175,10 +193,20 @@ func (h *Holistic) bestCasePrec(sys *platform.System, exec []ExecBounds, res *Re
 // worstPass runs the outer worst-case fixed point, filling maxFinish and
 // activation. It reports whether the recurrences failed to converge
 // (treated as divergence).
-func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Result, minAct, maxFinish, activation []model.Time, s *holisticScratch) bool {
+//
+// A nil aff sweeps every node (the cold run). A non-nil aff restricts
+// seeding and sweeping to the marked nodes: unaffected entries of
+// maxFinish/activation must already hold their fixed-point values (the
+// warm-start contract of AnalyzeFrom), and because the dirty closure
+// guarantees no unaffected node depends on an affected one, iterating
+// only the affected equations converges to the same least fixed point a
+// full sweep would reach.
+func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Result, minAct, maxFinish, activation []model.Time, s *holisticScratch, aff []bool) bool {
 	for i := range maxFinish {
-		maxFinish[i] = res.Bounds[i].MinFinish
-		activation[i] = res.Bounds[i].MinStart
+		if aff == nil || aff[i] {
+			maxFinish[i] = res.Bounds[i].MinFinish
+			activation[i] = res.Bounds[i].MinStart
+		}
 	}
 	limit := sys.Hyperperiod * 4
 	busDelay := h.initBusDelays(sys, s.busDelay)
@@ -187,12 +215,17 @@ func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Resul
 	for ; iters < h.maxOuterIters(); iters++ {
 		changed := false
 		if sys.Arch.Fabric.Arbitrated() {
+			// Bus delays couple all senders globally, so AnalyzeFrom
+			// never warm-starts arbitrated fabrics (aff is nil here).
 			if h.updateBusDelays(sys, exec, res, maxFinish, busDelay, s) {
 				changed = true
 			}
 		}
 		for gi := range sys.GraphNodes {
 			for _, nid := range sys.GraphNodes[gi] {
+				if aff != nil && !aff[nid] {
+					continue
+				}
 				node := sys.Nodes[nid]
 				act := node.Release
 				for _, e := range node.In {
@@ -229,13 +262,21 @@ func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Resul
 // no later than the job's current earliest start certainly executes its
 // bcet before the job can start. minAct is lifted through improved
 // predecessor finishes only (activations do not wait for interference).
-// Returns true when any bound moved.
-func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res *Result, minAct, activation []model.Time) bool {
-	improved := false
+// Returns whether any bound moved, and whether the sweep cap was hit
+// before convergence (capped results must not seed warm starts).
+//
+// aff restricts the sweep exactly as in worstPass: nil lifts every
+// node; otherwise unaffected nodes must already hold their converged
+// post-C values and only affected equations iterate.
+func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res *Result, minAct, activation []model.Time, aff []bool) (improved, capped bool) {
+	capped = true
 	for sweep := 0; sweep < 64; sweep++ {
 		changed := false
 		for gi := range sys.GraphNodes {
 			for _, nid := range sys.GraphNodes[gi] {
+				if aff != nil && !aff[nid] {
+					continue
+				}
 				node := sys.Nodes[nid]
 				prec := node.Release
 				for _, e := range node.In {
@@ -292,10 +333,11 @@ func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res 
 			}
 		}
 		if !changed {
+			capped = false
 			break
 		}
 	}
-	return improved
+	return improved, capped
 }
 
 // worstFinish computes the worst-case finish of job nid given its

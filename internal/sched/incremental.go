@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// This file implements the warm-started incremental analysis behind
+// sched.IncrementalAnalyzer. The observation driving it: Algorithm 1
+// re-runs the backend once per trigger job, yet every scenario's
+// execution-interval vector differs from the fault-free baseline in only
+// a handful of entries. The holistic fixed point decomposes along its
+// dependency structure —
+//
+//   - a job's bounds depend on its graph predecessors (activation via
+//     their finish times),
+//   - on higher-priority same-processor jobs (interference, exclusion
+//     tests), and
+//   - on lower-priority same-processor jobs only through the
+//     non-preemptive blocking term;
+//
+// so the set of jobs whose bounds can change is the transitive closure
+// of the dirty jobs under "graph successor", "lower-priority
+// same-processor neighbour" and, on non-preemptive processors, "any
+// same-processor neighbour". Every job outside that closure keeps its
+// baseline bounds verbatim, and the fixed point restricted to the
+// closure — seeded from below, with clean jobs pinned at their baseline
+// values — converges to the same least fixed point a cold run reaches,
+// because the sweep operator is monotone and clean equations never read
+// affected values (see DESIGN.md §7.5 for the full argument).
+//
+// Arbitrated fabrics couple every sender through the shared bus delays,
+// collapsing the closure to the whole system; AnalyzeFrom therefore
+// falls back to a cold run there, as it does on any input it cannot
+// warm-start exactly (nil/foreign/divergent baselines, capped C sweeps).
+
+// warmState carries the per-phase snapshots of a converged cold run that
+// AnalyzeFrom needs to reproduce the cold phase pipeline for clean
+// nodes: the post-phase-B worst finishes and activations (phase C reads
+// them), and the final best-case activations minAct (phase D's exclusion
+// tests read them).
+type warmState struct {
+	maxFinishB  []model.Time
+	activationB []model.Time
+	minActC     []model.Time
+}
+
+func newWarmState(n int) *warmState {
+	backing := make([]model.Time, 3*n)
+	return &warmState{
+		maxFinishB:  backing[:n:n],
+		activationB: backing[n : 2*n : 2*n],
+		minActC:     backing[2*n:],
+	}
+}
+
+// resizeBools returns a false-filled slice of length n, reusing capacity.
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// affectedClosure expands the dirty set to every node whose bounds can
+// differ from the baseline's, marking them in aff (len(aff) == nodes,
+// all false on entry) and returning the affected count plus the reusable
+// stack. Propagation rules mirror the dependency structure of the
+// holistic equations: a dirty node invalidates its graph successors
+// (activation), its lower-priority same-processor neighbours
+// (interference and exclusion tests) and, when the processor schedules
+// non-preemptively, every same-processor neighbour (the blocking term
+// reads lower-priority execution times).
+func affectedClosure(sys *platform.System, dirty, aff []bool, stack []platform.NodeID) (int, []platform.NodeID) {
+	count := 0
+	stack = stack[:0]
+	push := func(id platform.NodeID) {
+		if !aff[id] {
+			aff[id] = true
+			count++
+			stack = append(stack, id)
+		}
+	}
+	for i, d := range dirty {
+		if d {
+			push(platform.NodeID(i))
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := sys.Nodes[id]
+		for _, e := range node.Out {
+			push(e.To)
+		}
+		for _, pid := range sys.ProcNodes[node.Proc] {
+			if node.NonPreemptive || sys.Nodes[pid].Priority > node.Priority {
+				push(pid)
+			}
+		}
+	}
+	return count, stack
+}
+
+// AnalyzeFrom implements IncrementalAnalyzer for the holistic backend:
+// it derives the same Bounds and Schedulable verdict a cold
+// Analyze(sys, exec) would, warm-starting from the baseline whenever the
+// dirty closure is a proper subset of the system. Result.Iterations
+// counts only the incremental sweeps and is therefore smaller than the
+// cold run's. The returned Result carries no warm state of its own:
+// scenario results never serve as baselines.
+func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error) {
+	n := len(sys.Nodes)
+	if baseline == nil || baseline.warm == nil || len(baseline.Bounds) != n ||
+		len(dirty) != n || sys.Arch.Fabric.Arbitrated() {
+		return h.Analyze(sys, exec)
+	}
+	if err := ValidateExec(sys, exec); err != nil {
+		return nil, err
+	}
+
+	s := h.getScratch(n)
+	defer h.scratch.Put(s)
+	s.aff = resizeBools(s.aff, n)
+	aff := s.aff
+	var affected int
+	affected, s.stack = affectedClosure(sys, dirty, aff, s.stack)
+	if affected == n {
+		return h.Analyze(sys, exec)
+	}
+
+	res := &Result{Bounds: make([]Bounds, n)}
+	warm := baseline.warm
+
+	// ---- Phase A: global best-case precedence pass ----------------------
+	// Cheap (one topological sweep), and exact for clean nodes by the
+	// closure argument, so no baseline state is needed here.
+	minAct := s.minAct
+	h.bestCasePrec(sys, exec, res, minAct)
+
+	// ---- Phase B: worst-case fixed point over the closure ---------------
+	// Clean nodes are pinned at their baseline post-B values; affected
+	// nodes iterate from their phase-A seeds.
+	maxFinish := s.maxFinish
+	activation := s.activation
+	for i := 0; i < n; i++ {
+		if !aff[i] {
+			maxFinish[i] = warm.maxFinishB[i]
+			activation[i] = warm.activationB[i]
+		}
+	}
+	if h.worstPass(sys, exec, res, minAct, maxFinish, activation, s, aff) {
+		// The restricted fixed point hit the outer cap: reproduce the
+		// cold run's saturation semantics exactly by running cold.
+		return h.Analyze(sys, exec)
+	}
+
+	// ---- Phase C: best-case improvement over the closure ----------------
+	// Clean nodes take their converged post-C state from the baseline
+	// (final Min* bounds and minActC) before any affected equation reads
+	// them.
+	for i := 0; i < n; i++ {
+		if !aff[i] {
+			minAct[i] = warm.minActC[i]
+			res.Bounds[i].MinStart = baseline.Bounds[i].MinStart
+			res.Bounds[i].MinFinish = baseline.Bounds[i].MinFinish
+		}
+	}
+	if _, capped := h.improveBestCase(sys, exec, res, minAct, activation, aff); capped {
+		return h.Analyze(sys, exec)
+	}
+
+	// ---- Phase D: worst-case re-run with tightened exclusions -----------
+	// The cold pipeline runs D only when C improved a bound; running it
+	// unconditionally is equivalent (with unchanged inputs D reproduces
+	// B's fixed point) and spares tracking which side improved. Clean
+	// nodes are pinned at their baseline FINAL finishes here — post-D
+	// values when the baseline ran D, post-B values otherwise — which is
+	// exactly what the cold run on this exec vector would compute for
+	// them.
+	for i := 0; i < n; i++ {
+		if !aff[i] {
+			maxFinish[i] = baseline.Bounds[i].MaxFinish
+		}
+	}
+	if h.worstPass(sys, exec, res, minAct, maxFinish, activation, s, aff) {
+		return h.Analyze(sys, exec)
+	}
+
+	res.Schedulable = true
+	for i := range maxFinish {
+		res.Bounds[i].MaxFinish = maxFinish[i]
+		if maxFinish[i].IsInfinite() || maxFinish[i] > sys.Nodes[i].AbsDeadline {
+			res.Schedulable = false
+		}
+	}
+	return res, nil
+}
+
+// AnalyzeFrom implements IncrementalAnalyzer for the coarse backend by
+// delegating to the cold run: the whole-processor demand sums make a
+// Coarse analysis about as cheap as computing the dirty closure, so the
+// trivial implementation is also the fastest — and exactness is free.
+func (c *Coarse) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error) {
+	return c.Analyze(sys, exec)
+}
+
+var (
+	_ IncrementalAnalyzer = (*Holistic)(nil)
+	_ IncrementalAnalyzer = (*Coarse)(nil)
+)

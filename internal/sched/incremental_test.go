@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// twoProcSystem builds a system rich enough to exercise every coupling
+// the closure rules model: a cross-processor chain, same-processor
+// interference on both processors, and an independent graph.
+func twoProcSystem(t *testing.T, mutate func(*model.Architecture)) *platform.System {
+	t.Helper()
+	g := model.NewTaskGraph("g", 100).SetCritical(1e-9)
+	g.AddTask("a", 2, 5, 0, 0)
+	g.AddTask("b", 3, 6, 0, 0)
+	g.AddTask("c", 1, 4, 0, 0)
+	g.AddChannel("a", "b", 4)
+	g.AddChannel("b", "c", 4)
+	h := model.NewTaskGraph("h", 50)
+	h.AddTask("x", 1, 3, 0, 0)
+	h.AddTask("y", 1, 2, 0, 0)
+	h.AddChannel("x", "y", 2)
+	a := arch(2)
+	if mutate != nil {
+		mutate(a)
+	}
+	return compile(t, a, model.NewAppSet(g, h), model.Mapping{
+		"g/a": 0, "g/b": 1, "g/c": 0, "h/x": 0, "h/y": 1,
+	})
+}
+
+// perturbations returns exec vectors derived from the nominal one:
+// single-entry widenings, narrowings, multi-entry changes, and the
+// unchanged vector itself (empty diff).
+func perturbations(nominal []ExecBounds) [][]ExecBounds {
+	var out [][]ExecBounds
+	clone := func() []ExecBounds {
+		c := make([]ExecBounds, len(nominal))
+		copy(c, nominal)
+		return c
+	}
+	for i := range nominal {
+		p := clone()
+		p[i].W *= 3 // inflate one worst case
+		out = append(out, p)
+		q := clone()
+		q[i].B = 0 // widen one best case
+		out = append(out, q)
+	}
+	all := clone()
+	for i := range all {
+		all[i].B = 0
+		all[i].W++
+	}
+	out = append(out, all, clone())
+	return out
+}
+
+// checkWarmAgainstCold runs every perturbation through a cold Analyze,
+// a fully-dirty AnalyzeFrom and a diffed AnalyzeFrom, requiring
+// identical Bounds and Schedulable throughout.
+func checkWarmAgainstCold(t *testing.T, sys *platform.System) {
+	t.Helper()
+	h := &Holistic{}
+	nominal := NominalExec(sys)
+	baseline, err := h.Analyze(sys, nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(sys.Nodes)
+	allDirty := make([]bool, n)
+	for i := range allDirty {
+		allDirty[i] = true
+	}
+	diffed := make([]bool, n)
+	for pi, exec := range perturbations(nominal) {
+		cold, err := h.Analyze(sys, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range diffed {
+			diffed[i] = exec[i] != nominal[i]
+		}
+		for _, tc := range []struct {
+			name  string
+			dirty []bool
+		}{{"fully dirty", allDirty}, {"diffed", diffed}} {
+			got, err := h.AnalyzeFrom(sys, exec, baseline, tc.dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Schedulable != cold.Schedulable {
+				t.Fatalf("perturbation %d (%s): schedulable = %v, want %v", pi, tc.name, got.Schedulable, cold.Schedulable)
+			}
+			if !reflect.DeepEqual(got.Bounds, cold.Bounds) {
+				t.Fatalf("perturbation %d (%s): bounds = %v, want %v", pi, tc.name, got.Bounds, cold.Bounds)
+			}
+		}
+	}
+}
+
+func TestAnalyzeFromMatchesCold(t *testing.T) {
+	checkWarmAgainstCold(t, twoProcSystem(t, nil))
+}
+
+func TestAnalyzeFromMatchesColdNonPreemptive(t *testing.T) {
+	checkWarmAgainstCold(t, twoProcSystem(t, func(a *model.Architecture) {
+		a.Procs[0].NonPreemptive = true
+	}))
+}
+
+func TestAnalyzeFromMatchesColdMesh(t *testing.T) {
+	checkWarmAgainstCold(t, twoProcSystem(t, func(a *model.Architecture) {
+		a.Fabric.Kind = model.FabricMesh
+		a.Fabric.BaseLatency = 1
+	}))
+}
+
+// TestAnalyzeFromArbitratedFallsBack: on shared-bus fabrics every sender
+// couples through the arbitration term, so AnalyzeFrom must take the
+// documented cold-run fallback and still match Analyze exactly.
+func TestAnalyzeFromArbitratedFallsBack(t *testing.T) {
+	checkWarmAgainstCold(t, twoProcSystem(t, func(a *model.Architecture) {
+		a.Fabric.Shared = true
+		a.Fabric.Bandwidth = 2
+		a.Fabric.BaseLatency = 1
+	}))
+}
+
+// TestAnalyzeFromFallbacks checks the defensive paths: nil baselines,
+// foreign baselines and malformed dirty sets must degrade to a cold run,
+// never a wrong answer.
+func TestAnalyzeFromFallbacks(t *testing.T) {
+	sys := twoProcSystem(t, nil)
+	h := &Holistic{}
+	nominal := NominalExec(sys)
+	baseline := analyze(t, sys)
+	exec := make([]ExecBounds, len(nominal))
+	copy(exec, nominal)
+	exec[0].W *= 2
+	cold, err := h.Analyze(sys, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := make([]bool, len(exec))
+	dirty[0] = true
+	for _, tc := range []struct {
+		name     string
+		baseline *Result
+		dirty    []bool
+	}{
+		{"nil baseline", nil, dirty},
+		{"baseline without warm state", &Result{Bounds: make([]Bounds, len(exec))}, dirty},
+		{"short dirty", baseline, dirty[:1]},
+		{"short baseline", &Result{Bounds: make([]Bounds, 1), warm: baseline.warm}, dirty},
+	} {
+		got, err := h.AnalyzeFrom(sys, exec, tc.baseline, tc.dirty)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got.Bounds, cold.Bounds) || got.Schedulable != cold.Schedulable {
+			t.Fatalf("%s: fallback result differs from cold run", tc.name)
+		}
+	}
+}
+
+// TestAnalyzeFromResultCarriesNoWarmState: scenario results never serve
+// as baselines, so the warm snapshots must not be recorded on them.
+func TestAnalyzeFromResultCarriesNoWarmState(t *testing.T) {
+	sys := twoProcSystem(t, nil)
+	h := &Holistic{}
+	nominal := NominalExec(sys)
+	baseline := analyze(t, sys)
+	if baseline.warm == nil {
+		t.Fatal("cold Analyze of a convergent system should record warm state")
+	}
+	exec := make([]ExecBounds, len(nominal))
+	copy(exec, nominal)
+	exec[0].W++
+	dirty := make([]bool, len(exec))
+	dirty[0] = true
+	got, err := h.AnalyzeFrom(sys, exec, baseline, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.warm != nil {
+		t.Fatal("AnalyzeFrom result must not carry warm state")
+	}
+}
+
+// TestAffectedClosure pins the propagation rules: graph successors and
+// lower-priority same-processor neighbours join the closure transitively;
+// unrelated nodes on other processors stay clean.
+func TestAffectedClosure(t *testing.T) {
+	sys := twoProcSystem(t, nil)
+	n := len(sys.Nodes)
+	a := sys.Node("g/a").ID
+	dirty := make([]bool, n)
+	dirty[a] = true
+	aff := make([]bool, n)
+	count, _ := affectedClosure(sys, dirty, aff, nil)
+	if !aff[a] {
+		t.Fatal("dirty node not in its own closure")
+	}
+	// Successors b and (transitively) c must be affected.
+	for _, name := range []model.TaskID{"g/b", "g/c"} {
+		if !aff[sys.Node(name).ID] {
+			t.Fatalf("%s missing from closure of g/a", name)
+		}
+	}
+	// Lower-priority same-processor neighbours of every affected node
+	// must themselves be affected.
+	for id, in := range aff {
+		if !in {
+			continue
+		}
+		node := sys.Nodes[id]
+		for _, pid := range sys.ProcNodes[node.Proc] {
+			if sys.Nodes[pid].Priority > node.Priority && !aff[pid] {
+				t.Fatalf("node %d lower-priority peer %d missing from closure", id, pid)
+			}
+		}
+	}
+	got := 0
+	for _, in := range aff {
+		if in {
+			got++
+		}
+	}
+	if got != count {
+		t.Fatalf("closure count = %d, marked = %d", count, got)
+	}
+}
+
+// TestAffectedClosureNonPreemptive: on a non-preemptive processor the
+// blocking term couples every same-processor job, so any dirty node
+// drags all its processor peers into the closure.
+func TestAffectedClosureNonPreemptive(t *testing.T) {
+	sys := twoProcSystem(t, func(a *model.Architecture) {
+		a.Procs[0].NonPreemptive = true
+	})
+	n := len(sys.Nodes)
+	a := sys.Node("g/a").ID
+	dirty := make([]bool, n)
+	dirty[a] = true
+	aff := make([]bool, n)
+	affectedClosure(sys, dirty, aff, nil)
+	for _, pid := range sys.ProcNodes[sys.Nodes[a].Proc] {
+		if !aff[pid] {
+			t.Fatalf("non-preemptive peer %d missing from closure", pid)
+		}
+	}
+}
+
+// TestCoarseAnalyzeFrom: the coarse backend's trivial implementation
+// must agree with its own cold run.
+func TestCoarseAnalyzeFrom(t *testing.T) {
+	sys := twoProcSystem(t, nil)
+	c := &Coarse{}
+	nominal := NominalExec(sys)
+	baseline, err := c.Analyze(sys, nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := make([]ExecBounds, len(nominal))
+	copy(exec, nominal)
+	exec[1].W *= 2
+	dirty := make([]bool, len(exec))
+	dirty[1] = true
+	cold, err := c.Analyze(sys, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.AnalyzeFrom(sys, exec, baseline, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cold) {
+		t.Fatal("Coarse.AnalyzeFrom differs from Coarse.Analyze")
+	}
+}

@@ -189,6 +189,17 @@ func AnalyzeWCRT(sys *System, dropped DropSet) (*Report, error) {
 	return core.Analyze(sys, dropped, core.NewConfig())
 }
 
+// NewAnalysisConfig returns the recommended Algorithm 1 configuration
+// (holistic backend, scenario deduplication, incremental warm-started
+// scenario analysis). Adjust fields — e.g. PruneDominated or Workers —
+// and pass the result to AnalyzeWCRTWith.
+func NewAnalysisConfig() AnalysisConfig { return core.NewConfig() }
+
+// AnalyzeWCRTWith is AnalyzeWCRT with an explicit configuration.
+func AnalyzeWCRTWith(sys *System, dropped DropSet, cfg AnalysisConfig) (*Report, error) {
+	return core.Analyze(sys, dropped, cfg)
+}
+
 // TaskSlack is the per-task WCET headroom record of Sensitivity.
 type TaskSlack = core.TaskSlack
 
