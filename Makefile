@@ -1,11 +1,12 @@
 # Developer entry points. Everything here is plain `go` tooling; no
 # extra dependencies are required.
 
-GO       ?= go
-BENCH    ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic
-BENCHOUT ?= BENCH_core.json
+GO         ?= go
+BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache
+BENCHCOUNT ?= 3
+BENCHOUT   ?= BENCH_core.json
 
-.PHONY: build test test-race bench clean
+.PHONY: build test test-race bench benchguard clean
 
 build:
 	$(GO) build ./...
@@ -19,12 +20,24 @@ test-race:
 # bench runs the performance-critical micro-benchmarks and writes the
 # machine-readable results (a test2json stream, one JSON object per
 # line) to $(BENCHOUT) for tracking across commits, while the usual
-# human-readable benchmark lines land on stdout.
+# human-readable benchmark lines land on stdout. $(BENCHCOUNT)
+# repetitions are recorded per benchmark; consumers (cmd/benchguard)
+# take the minimum ns/op, which is the least noise-contaminated
+# estimate on a shared machine.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count 1 . | tee bench.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCHCOUNT) . | tee bench.txt
 	$(GO) tool test2json < bench.txt > $(BENCHOUT)
 	@rm -f bench.txt
 	@echo "wrote $(BENCHOUT)"
 
+# benchguard re-measures the guarded benchmarks and fails when the hot
+# kernels regressed >15% against the committed $(BENCHOUT) baseline
+# (same gate CI runs; see .github/workflows/ci.yml).
+benchguard:
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend' -count 3 -json . > bench_current.json
+	$(GO) run ./cmd/benchguard -baseline $(BENCHOUT) -current bench_current.json \
+		-threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend'
+	@rm -f bench_current.json
+
 clean:
-	rm -f $(BENCHOUT) bench.txt cpu.out mem.out
+	rm -f $(BENCHOUT) bench.txt bench_current.json cpu.out mem.out

@@ -15,6 +15,7 @@ import (
 	"mcmap/internal/core"
 	"mcmap/internal/dse"
 	"mcmap/internal/experiments"
+	"mcmap/internal/model"
 	"mcmap/internal/platform"
 	"mcmap/internal/sched"
 	"mcmap/internal/sim"
@@ -304,10 +305,24 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 // (default) and off. Both runs follow the identical trajectory (see
 // TestMemoizedTrajectoryMatchesUncached); the cached run performs fewer
 // Decode→Apply→Compile→Analyze pipelines, reported as analyses/run.
+// The structural cache is disabled in both variants so the comparison
+// isolates memoization: with it on, the uncached run's 3× analysis
+// volume seeds far more cross-candidate warm-starts per generation,
+// which cheapens exactly the work the fitness cache is meant to skip
+// and muddies the contrast (BenchmarkStructuralCache covers that
+// dimension on its own).
 func BenchmarkDSEMemoization(b *testing.B) {
 	bench := benchmarks.DTMed()
 	p, err := dse.NewProblem(bench.Arch, bench.Apps)
 	if err != nil {
+		b.Fatal(err)
+	}
+	// One untimed run brings the process to steady state (heap sizing,
+	// page faults) so the first timed variant doesn't absorb the warmup
+	// cost that the second one skips.
+	if _, err := dse.Optimize(p, dse.Options{
+		PopSize: 24, Generations: 12, Seed: 1, StructuralCacheSize: -1,
+	}); err != nil {
 		b.Fatal(err)
 	}
 	for _, c := range []struct {
@@ -321,7 +336,8 @@ func BenchmarkDSEMemoization(b *testing.B) {
 			analyses := 0
 			for i := 0; i < b.N; i++ {
 				res, err := dse.Optimize(p, dse.Options{
-					PopSize: 24, Generations: 12, Seed: 1, FitnessCacheSize: c.size,
+					PopSize: 24, Generations: 12, Seed: 1,
+					FitnessCacheSize: c.size, StructuralCacheSize: -1,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -430,6 +446,109 @@ func BenchmarkHolisticBackend(b *testing.B) {
 		if _, err := h.Analyze(sys, exec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWorstFinishKernel stresses the busy-window admission kernel:
+// a dense synthetic system (64 tasks over 4 processors) analyzed by one
+// backend invocation, where the worstFinish/improveBestCase scans over
+// same-processor peers dominate. This is the regression sentinel for the
+// peer-list kernel (partitioned admission scans, peerState packing,
+// watermark sweep skipping).
+func BenchmarkWorstFinishKernel(b *testing.B) {
+	bench := benchmarks.Synth(benchmarks.SynthConfig{
+		Name: "kernel-64", Procs: 4,
+		CriticalApps: 2, DroppableApps: 2,
+		MinTasks: 16, MaxTasks: 16,
+		Seed: 9,
+	})
+	sys, _, err := bench.CompiledSample(benchmarks.MapLoadBalance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := &sched.Holistic{}
+	exec := sched.NominalExec(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Analyze(sys, exec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStructuralCache measures the cross-candidate structural cache
+// on the sibling pattern GA offspring actually exhibit: the same
+// hardening and drop decisions with a handful of tasks rebound to other
+// processors. Each iteration analyzes a base mapping plus eight
+// single-task-move variants on a 16-processor synthetic platform (wide
+// architectures keep the per-move dirty set local, which is where
+// warm-starting pays; see DESIGN.md §7.6). With a shared cache the
+// variants warm-start their cold passes from the base candidate's
+// converged bounds. The nocache variant is the cold reference; Reports
+// are identical in both (see TestStructuralCacheEquivalence).
+func BenchmarkStructuralCache(b *testing.B) {
+	bench := benchmarks.Synth(benchmarks.SynthConfig{
+		Name: "struct-wide", Procs: 16,
+		CriticalApps: 4, DroppableApps: 4,
+		MinTasks: 8, MaxTasks: 8,
+		Seed: 9,
+	})
+	man, err := bench.Hardened()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := bench.SampleMapping(man, benchmarks.MapLoadBalance)
+	dropped := bench.DefaultDropSet()
+	nprocs := len(bench.Arch.Procs)
+
+	// The base system plus one variant per moved task (replicas are left
+	// alone: moving one could collide with its siblings' processors).
+	var movable []model.TaskID
+	for _, g := range man.Apps.Graphs {
+		for _, t := range g.Tasks {
+			if t.Kind != model.KindReplica {
+				movable = append(movable, t.ID)
+			}
+		}
+	}
+	var systems []*platform.System
+	compileWith := func(mapping model.Mapping) {
+		sys, err := platform.Compile(bench.Arch, man.Apps, mapping, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		systems = append(systems, sys)
+	}
+	compileWith(base)
+	for v := 0; v < 8 && v < len(movable); v++ {
+		id := movable[v*len(movable)/8]
+		mapping := model.Mapping{}
+		for k, p := range base {
+			mapping[k] = p
+		}
+		mapping[id] = model.ProcID((int(base[id]) + 1) % nprocs)
+		compileWith(mapping)
+	}
+	for _, cached := range []bool{false, true} {
+		name := "nocache"
+		if cached {
+			name = "cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.NewConfig()
+				if cached {
+					// Fresh per iteration: all reuse measured here comes
+					// from the in-iteration siblings, not prior rounds.
+					cfg.Structural = core.NewStructuralCache(0)
+				}
+				for _, sys := range systems {
+					if _, err := core.Analyze(sys, dropped, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

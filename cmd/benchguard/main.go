@@ -1,0 +1,182 @@
+// Command benchguard compares two benchmark result files and fails when
+// a guarded benchmark regressed beyond a threshold. It replaces an
+// external benchstat dependency for the CI regression gate: both inputs
+// are the machine-readable `go test -json` streams the Makefile's bench
+// target writes (BENCH_core.json), so the committed baseline doubles as
+// the guard's reference.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_core.json -current new.json \
+//	    -threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend'
+//
+// For every benchmark matching -require that appears in the baseline,
+// benchguard takes the minimum ns/op over the file's repetitions (the
+// min is the least noise-contaminated estimate on shared runners),
+// requires the benchmark to be present in -current, and fails when
+//
+//	current_min > baseline_min * (1 + threshold/100)
+//
+// Benchmarks outside -require are reported for information only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's minimum ns/op over all repetitions.
+type result struct {
+	name string
+	nsOp float64
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_core.json", "committed `go test -json` baseline stream")
+	current := flag.String("current", "", "freshly measured `go test -json` stream to compare")
+	threshold := flag.Float64("threshold", 15, "maximum allowed ns/op regression in percent")
+	require := flag.String("require", "", "regexp of benchmarks that must be present and within threshold")
+	flag.Parse()
+	if *current == "" || *require == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current and -require are mandatory")
+		flag.Usage()
+		os.Exit(2)
+	}
+	req, err := regexp.Compile(*require)
+	if err != nil {
+		fatal(fmt.Errorf("bad -require: %w", err))
+	}
+
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	var names []string
+	for name := range base {
+		if req.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no baseline benchmark matches -require %q", *require))
+	}
+
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline, missing from current run\n", name)
+			failed = true
+			continue
+		}
+		delta := 100 * (c.nsOp - b.nsOp) / b.nsOp
+		verdict := "ok  "
+		if delta > *threshold {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: %.0f ns/op -> %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+			verdict, name, b.nsOp, c.nsOp, delta, *threshold)
+	}
+	if failed {
+		fmt.Println("benchguard: regression beyond threshold")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all guarded benchmarks within threshold")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+// event is the subset of the test2json stream benchguard consumes.
+type event struct {
+	Action string
+	Output string
+}
+
+// benchLine extracts "BenchmarkX-8   	  1000	  12345 ns/op ..." lines.
+// The -N GOMAXPROCS suffix is stripped so baselines taken on machines
+// with different core counts still compare.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseFile reads a `go test -json` stream and returns the per-benchmark
+// minimum ns/op.
+//
+// `go test -json` flushes the benchmark name ("BenchmarkX-8 \t") in one
+// Output event and the measurements ("  1000\t  123 ns/op\n") in the
+// next, so Output payloads are reassembled into complete lines before
+// matching instead of being inspected event by event.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	var partial strings.Builder
+	record := func(chunk string) {
+		partial.WriteString(chunk)
+		if !strings.Contains(chunk, "\n") {
+			return
+		}
+		lines := strings.Split(partial.String(), "\n")
+		partial.Reset()
+		partial.WriteString(lines[len(lines)-1]) // unfinished tail, if any
+		for _, line := range lines[:len(lines)-1] {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			if prev, ok := out[m[1]]; !ok || ns < prev.nsOp {
+				out[m[1]] = result{name: m[1], nsOp: ns}
+			}
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate plain `go test -bench` output interleaved in the
+			// file: each raw line is already complete.
+			record(line + "\n")
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		record(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	record("\n") // flush a final unterminated line
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}

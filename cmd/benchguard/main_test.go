@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFileTest2JSON(t *testing.T) {
+	path := writeTemp(t, "bench.json", `{"Action":"start"}
+{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Output":"BenchmarkFoo/case=1-8         \t  1000\t      8346 ns/op\t    5346 B/op\n"}
+{"Action":"output","Output":"BenchmarkFoo/case=1-8         \t  1200\t      8100 ns/op\t    5346 B/op\n"}
+{"Action":"output","Output":"BenchmarkBar-16               \t   100\t    123456 ns/op\n"}
+{"Action":"output","Output":"PASS\n"}
+{"Action":"pass"}
+`)
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repetitions collapse to the minimum; the -N suffix is stripped.
+	if r, ok := got["BenchmarkFoo/case=1"]; !ok || r.nsOp != 8100 {
+		t.Fatalf("BenchmarkFoo/case=1 = %+v, want min 8100", got["BenchmarkFoo/case=1"])
+	}
+	if r, ok := got["BenchmarkBar"]; !ok || r.nsOp != 123456 {
+		t.Fatalf("BenchmarkBar = %+v", got["BenchmarkBar"])
+	}
+}
+
+// TestParseFileFragmentedOutput covers the native `go test -json` stream
+// (as opposed to one produced by piping complete lines through
+// `go tool test2json`): the runner flushes the benchmark name and the
+// measurements as two separate Output events, so the parser must stitch
+// them back into one line.
+func TestParseFileFragmentedOutput(t *testing.T) {
+	path := writeTemp(t, "bench.json", `{"Action":"run","Test":"BenchmarkFrag"}
+{"Action":"output","Test":"BenchmarkFrag","Output":"BenchmarkFrag\n"}
+{"Action":"output","Test":"BenchmarkFrag","Output":"BenchmarkFrag-8         \t"}
+{"Action":"output","Test":"BenchmarkFrag","Output":"  144502\t      8436 ns/op\n"}
+{"Action":"output","Output":"BenchmarkFrag-8         \t"}
+{"Action":"output","Output":"  104048\t      7199 ns/op\n"}
+{"Action":"output","Output":"PASS\n"}
+`)
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := got["BenchmarkFrag"]; !ok || r.nsOp != 7199 {
+		t.Fatalf("BenchmarkFrag = %+v, want min 7199", got["BenchmarkFrag"])
+	}
+}
+
+func TestParseFilePlainBenchOutput(t *testing.T) {
+	path := writeTemp(t, "bench.txt", `goos: linux
+BenchmarkBaz-4   	    500	   2000.5 ns/op
+PASS
+`)
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := got["BenchmarkBaz"]; !ok || r.nsOp != 2000.5 {
+		t.Fatalf("BenchmarkBaz = %+v", got["BenchmarkBaz"])
+	}
+}
+
+func TestParseFileEmpty(t *testing.T) {
+	path := writeTemp(t, "empty.json", `{"Action":"start"}
+{"Action":"pass"}
+`)
+	if _, err := parseFile(path); err == nil {
+		t.Fatal("expected an error for a stream without benchmark lines")
+	}
+}

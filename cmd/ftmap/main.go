@@ -72,6 +72,9 @@ func main() {
 	fmt.Printf("evaluated %d candidates, %d feasible\n", res.Stats.Evaluated, res.Stats.Feasible)
 	fmt.Printf("scenario analyses: %d run (%d deduplicated, %d pruned, %d warm-started)\n",
 		res.Stats.ScenariosAnalyzed, res.Stats.ScenariosDeduped, res.Stats.ScenariosPruned, res.Stats.ScenariosIncremental)
+	fmt.Printf("fitness cache: %d hits, %d misses, %d generations bypassed; structural cache: %d hits, %d misses, %d warm-started passes\n",
+		res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.CacheBypassed,
+		res.Stats.StructHits, res.Stats.StructMisses, res.Stats.WarmStartJobs)
 	if *track {
 		fmt.Printf("rescued by dropping: %.2f%%; re-execution share: %.2f%%\n",
 			100*res.Stats.RescueRatio(), 100*res.Stats.ReExecutionShare())

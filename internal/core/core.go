@@ -106,6 +106,17 @@ type Config struct {
 	// nesting W-way fitness evaluation over W-way scenario fan-out
 	// cannot oversubscribe to W² goroutines.
 	Pool *workpool.Pool
+	// Structural warm-starts the fault-free and critical-reference
+	// passes from a previously analyzed candidate with the same compiled
+	// structure (same job set, hardening decisions and drop set) but a
+	// different mapping — the cross-candidate analogue of Incremental.
+	// Reports are bound-for-bound identical to cold analyses (see
+	// structural.go for the soundness argument); counters surface in
+	// Report.StructHits/StructMisses/StructWarmJobs. Requires a backend
+	// implementing sched.IncrementalAnalyzer; nil disables. One cache
+	// must serve only candidates of one design-space exploration (same
+	// applications, architecture and priority policy).
+	Structural *StructuralCache
 }
 
 func (c Config) analyzer() sched.Analyzer {
@@ -187,6 +198,15 @@ type Report struct {
 	// (Config.Incremental with a capable backend).
 	ScenariosPruned      int
 	ScenariosIncremental int
+	// StructHits/StructMisses record this call's structural-cache lookup
+	// (Config.Structural): a hit found a same-structure sibling to
+	// warm-start from, a miss ran cold and seeded the cache.
+	// StructWarmJobs counts the backend passes actually warm-started
+	// from the sibling (fault-free and/or critical reference). All three
+	// stay zero with structural caching disabled.
+	StructHits     int
+	StructMisses   int
+	StructWarmJobs int
 }
 
 // Feasible reports the combined schedulability verdict: fault-free
@@ -219,10 +239,29 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	}
 
 	// ---- Lines 2-9: fault-free pass -------------------------------------
+	// With a structural cache wired in, a same-structure sibling's
+	// converged result warm-starts this pass (and the critical reference
+	// below); the derived bounds are identical to the cold run's.
 	normalExec := NormalExec(sys)
-	normal, err := analyzer.Analyze(sys, normalExec)
+	ss := openStructural(cfg, analyzer, sys, dropped)
+	if ss != nil {
+		if ss.hit != nil {
+			rep.StructHits++
+		} else {
+			rep.StructMisses++
+		}
+	}
+	normal, err := ss.warmNormal(analyzer, sys, normalExec)
 	if err != nil {
 		return nil, err
+	}
+	if normal != nil {
+		rep.StructWarmJobs++
+	} else {
+		normal, err = analyzer.Analyze(sys, normalExec)
+		if err != nil {
+			return nil, err
+		}
 	}
 	rep.Normal = normal
 	rep.ScenariosAnalyzed++
@@ -246,6 +285,8 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	// sequential engine exactly; only the backend invocations fan out.
 	jobs := scenarioJobs(sys, dropped, normal, cfg, rep)
 	var base *incrementalBase
+	var refRes *sched.Result
+	var refExec []sched.ExecBounds
 	if inc, ok := analyzer.(sched.IncrementalAnalyzer); ok && cfg.Incremental && len(jobs) > 0 {
 		// Warm-start baseline: the all-critical reference vector, not the
 		// fault-free one. Every scenario leaves most jobs in the critical
@@ -253,13 +294,27 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 		// smaller dirty sets (on sparse systems, near-empty ones). The
 		// one extra backend invocation amortizes over the scenario set;
 		// it is deliberately absent from Report.Scenarios* counters,
-		// which keep their cold-engine semantics.
-		refExec := criticalExec(sys, dropped)
-		if refRes, refErr := analyzer.Analyze(sys, refExec); refErr == nil && !diverged(refRes) {
+		// which keep their cold-engine semantics. The reference itself
+		// warm-starts from a structural sibling when one is cached.
+		refExec = criticalExec(sys, dropped)
+		var refErr error
+		refRes, refErr = ss.warmCritical(analyzer, sys, refExec)
+		if refRes != nil && refErr == nil {
+			rep.StructWarmJobs++
+		} else if refErr == nil {
+			refRes, refErr = analyzer.Analyze(sys, refExec)
+		}
+		if refErr != nil {
+			refRes = nil
+		}
+		if refRes != nil && !diverged(refRes) {
 			base = &incrementalBase{analyzer: inc, result: refRes, exec: refExec}
 			rep.ScenariosIncremental = len(jobs)
 		}
 	}
+	// Seed the structural cache for future siblings of this structure
+	// (no-op on hits and with caching disabled).
+	ss.seal(sys, normal, normalExec, refRes, refExec)
 	results, err := analyzeScenarios(analyzer, sys, jobs, cfg, base)
 	if err != nil {
 		return nil, err
@@ -287,6 +342,7 @@ func scenarioJobs(sys *platform.System, dropped DropSet, normal *sched.Result, c
 	}
 	free := execFreelist{n: len(sys.Nodes)}
 	vecOf := func(i int32) []sched.ExecBounds { return jobs[i].exec }
+	cls := buildNodeClasses(sys, dropped)
 	for _, v := range sys.Nodes {
 		if !isTrigger(v) {
 			continue
@@ -297,7 +353,7 @@ func scenarioJobs(sys *platform.System, dropped DropSet, normal *sched.Result, c
 			WindowHi: normal.Bounds[v.ID].MaxFinish,
 		}
 		exec := free.get()
-		scenarioExecInto(exec, sys, dropped, normal, sc)
+		scenarioExecInto(exec, cls, sys, normal, sc)
 		var h execHash
 		if cfg.DedupScenarios {
 			h = hashExec(exec)
@@ -392,14 +448,61 @@ func criticalExec(sys *platform.System, dropped DropSet) []sched.ExecBounds {
 // exactly as in the paper's Figure 3.
 func ScenarioExec(sys *platform.System, dropped DropSet, normal *sched.Result, sc Scenario) []sched.ExecBounds {
 	exec := make([]sched.ExecBounds, len(sys.Nodes))
-	scenarioExecInto(exec, sys, dropped, normal, sc)
+	scenarioExecInto(exec, buildNodeClasses(sys, dropped), sys, normal, sc)
 	return exec
 }
 
+// nodeClass caches, per node, every execution interval the Algorithm 1
+// classification can assign and the drop-set membership, so building a
+// scenario vector needs no per-node map lookups or Eq. (1) arithmetic.
+// The table depends only on (sys, dropped) and is shared by all triggers
+// of one Analyze call.
+type nodeClass struct {
+	// normal is the fault-free interval (lines 14-17): nominal bounds,
+	// passive replicas silent.
+	normal sched.ExecBounds
+	// transition is the may-run-or-not interval [0, wcet] (line 23),
+	// also the critical-state interval of passive replicas.
+	transition sched.ExecBounds
+	// critical is the critical-state interval (line 26): Eq. (1)
+	// inflation for active tasks, [0, wcet] for passive replicas.
+	critical sched.ExecBounds
+	// trigger is the node's failure-mode interval when it is itself the
+	// fault trigger (triggerBounds).
+	trigger sched.ExecBounds
+	// executed is the raw [bcet, wcet] a passive replica takes when its
+	// dispatch trigger invokes it.
+	executed sched.ExecBounds
+	// dropped records drop-set membership of the owning graph.
+	dropped bool
+}
+
+// buildNodeClasses fills the per-node classification table for one
+// (system, drop set) pair.
+func buildNodeClasses(sys *platform.System, dropped DropSet) []nodeClass {
+	cls := make([]nodeClass, len(sys.Nodes))
+	for _, w := range sys.Nodes {
+		c := &cls[w.ID]
+		c.dropped = dropped[w.Graph.Name]
+		c.transition = sched.ExecBounds{B: 0, W: w.NominalWCET()}
+		if w.Task.Passive {
+			c.normal = sched.ExecBounds{}
+			c.critical = c.transition
+		} else {
+			c.normal = sched.ExecBounds{B: w.NominalBCET(), W: w.NominalWCET()}
+			c.critical = sched.ExecBounds{B: w.NominalBCET(), W: w.HardenedWCET()}
+		}
+		c.trigger = triggerBounds(w)
+		c.executed = sched.ExecBounds{B: w.BCET, W: w.WCET}
+	}
+	return cls
+}
+
 // scenarioExecInto is ScenarioExec writing into a caller-owned vector
-// (len(exec) == len(sys.Nodes)), the allocation-free form used by the
-// scenario work-list construction.
-func scenarioExecInto(exec []sched.ExecBounds, sys *platform.System, dropped DropSet, normal *sched.Result, sc Scenario) {
+// (len(exec) == len(sys.Nodes) == len(cls)), the allocation-free form
+// used by the scenario work-list construction: per node it reduces to
+// two window comparisons and a table read.
+func scenarioExecInto(exec []sched.ExecBounds, cls []nodeClass, sys *platform.System, normal *sched.Result, sc Scenario) {
 	trigger := sys.Nodes[sc.Trigger]
 	// For a dispatch trigger, the fault manifests as the invocation of the
 	// trigger's passive replicas: they actually execute in this scenario.
@@ -417,43 +520,35 @@ func scenarioExecInto(exec []sched.ExecBounds, sys *platform.System, dropped Dro
 			}
 		}
 	}
-	for _, w := range sys.Nodes {
-		if w.ID == sc.Trigger {
-			exec[w.ID] = triggerBounds(w)
+	for id := range exec {
+		w := platform.NodeID(id)
+		c := &cls[id]
+		if w == sc.Trigger {
+			exec[id] = c.trigger
 			continue
 		}
-		if invoked[w.ID] {
-			exec[w.ID] = sched.ExecBounds{B: w.BCET, W: w.WCET}
+		if invoked != nil && invoked[w] {
+			exec[id] = c.executed
 			continue
 		}
-		nb := normal.Bounds[w.ID]
+		nb := &normal.Bounds[id]
 		switch {
 		case nb.MaxFinish < sc.WindowLo:
-			// Normal state: nominal bounds; passive replicas stay silent
-			// (lines 14-17).
-			if w.Task.Passive {
-				exec[w.ID] = sched.ExecBounds{}
-			} else {
-				exec[w.ID] = sched.ExecBounds{B: w.NominalBCET(), W: w.NominalWCET()}
-			}
-		case dropped[w.Graph.Name]:
+			// Normal state (lines 14-17).
+			exec[id] = c.normal
+		case c.dropped:
 			if nb.MinStart > sc.WindowHi {
 				// Certainly dropped (lines 20-21).
-				exec[w.ID] = sched.ExecBounds{}
+				exec[id] = sched.ExecBounds{}
 			} else {
 				// Transition: either executed or dropped (line 23).
-				exec[w.ID] = sched.ExecBounds{B: 0, W: w.NominalWCET()}
+				exec[id] = c.transition
 			}
 		default:
 			// Critical state, non-dropped task (line 26): Eq. (1)
-			// inflation. Passive replicas of other tasks may be invoked
-			// later in the critical state; [0, wcet] is the safe
-			// over-approximation (see DESIGN.md).
-			if w.Task.Passive {
-				exec[w.ID] = sched.ExecBounds{B: 0, W: w.NominalWCET()}
-			} else {
-				exec[w.ID] = sched.ExecBounds{B: w.NominalBCET(), W: w.HardenedWCET()}
-			}
+			// inflation; passive replicas of other tasks take the safe
+			// [0, wcet] over-approximation (see DESIGN.md).
+			exec[id] = c.critical
 		}
 	}
 }

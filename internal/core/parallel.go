@@ -15,6 +15,15 @@ type scenarioJob struct {
 	exec []sched.ExecBounds
 }
 
+// warmJobsPerWorker and coldJobsPerWorker set the minimum number of
+// scenario jobs that justifies one additional worker goroutine (the
+// fan-out clamp in analyzeScenarios). Tuned on the dt benchmarks: below
+// these grains the parallel run is slower than the sequential one.
+const (
+	warmJobsPerWorker = 32
+	coldJobsPerWorker = 8
+)
+
 // incrementalBase bundles what a warm-started scenario analysis needs:
 // the incremental backend, the fault-free baseline result, and the
 // baseline execution intervals to diff against. nil disables
@@ -51,6 +60,18 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 	workers := cfg.workers(analyzer)
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	// Clamp the fan-out to the work grain: a warm-started job converges in
+	// a few microseconds against its baseline, so helper-goroutine startup
+	// and cross-core cache traffic outweigh the parallelism unless every
+	// worker gets a meaningful run of jobs. Cold jobs are roughly an order
+	// of magnitude heavier, so they justify helpers sooner.
+	grain := coldJobsPerWorker
+	if base != nil {
+		grain = warmJobsPerWorker
+	}
+	if max := 1 + (len(jobs)-1)/grain; workers > max {
+		workers = max
 	}
 	if workers <= 1 {
 		var dirty []bool

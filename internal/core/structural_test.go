@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mcmap/internal/benchmarks"
+	"mcmap/internal/core"
+)
+
+// structStrategies are the three deterministic sample mappings: they share
+// the benchmark's hardening plan and drop set (hence the compiled job
+// structure) and differ only in task-to-processor bindings — exactly the
+// sibling relationship the structural cache exploits.
+var structStrategies = []benchmarks.MappingStrategy{
+	benchmarks.MapLoadBalance, benchmarks.MapClustered, benchmarks.MapSeededRandom,
+}
+
+// TestStructuralCacheEquivalence is the cross-candidate safety property:
+// analyzing a sequence of structural siblings through one shared
+// StructuralCache must yield Reports byte-identical to cold, cache-free
+// analyses — including every scenario's exec vector and bounds — while
+// actually warm-starting the later siblings.
+func TestStructuralCacheEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cache := core.NewStructuralCache(0)
+		hits, warm := 0, 0
+		for _, strat := range structStrategies {
+			sys, dropped := synthSample(t, seed, strat)
+			ctx := fmt.Sprintf("seed %d strat %v", seed, strat)
+
+			cold := core.NewConfig()
+			cold.Workers = 1
+			want, err := core.Analyze(sys, dropped, cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.StructHits+want.StructMisses+want.StructWarmJobs != 0 {
+				t.Fatalf("%s: cache-free run reported structural traffic", ctx)
+			}
+
+			cached := cold
+			cached.Structural = cache
+			got, err := core.Analyze(sys, dropped, cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(reportSignature(got, true), reportSignature(want, true)) {
+				t.Fatalf("%s: structurally warm-started report differs from cold analysis", ctx)
+			}
+			if got.StructHits+got.StructMisses == 0 {
+				t.Fatalf("%s: structural cache never consulted", ctx)
+			}
+			hits += got.StructHits
+			warm += got.StructWarmJobs
+		}
+		if hits == 0 {
+			t.Fatalf("seed %d: no structural hits across sibling mappings (fingerprint too strict?)", seed)
+		}
+		if warm == 0 {
+			t.Fatalf("seed %d: structural hits never warm-started a pass", seed)
+		}
+	}
+}
+
+// TestStructuralCacheKeyedByDropSet checks that the fingerprint separates
+// drop decisions: the same compiled system analyzed under different drop
+// sets must not warm-start across them, and each variant's report must
+// stay identical to its cache-free run.
+func TestStructuralCacheKeyedByDropSet(t *testing.T) {
+	sys, dropped := synthSample(t, 1, benchmarks.MapLoadBalance)
+	cache := core.NewStructuralCache(0)
+	for _, ds := range []core.DropSet{dropped, {}} {
+		cold := core.NewConfig()
+		cold.Workers = 1
+		want, err := core.Analyze(sys, ds, cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached := cold
+		cached.Structural = cache
+		got, err := core.Analyze(sys, ds, cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reportSignature(got, true), reportSignature(want, true)) {
+			t.Fatalf("drop set %v: cached report differs from cold analysis", ds)
+		}
+		if got.StructHits != 0 {
+			t.Fatalf("drop set %v: hit across distinct drop sets", ds)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d structures, want 2 (one per drop set)", cache.Len())
+	}
+}
+
+// TestStructuralCacheEviction pins the LRU bound.
+func TestStructuralCacheEviction(t *testing.T) {
+	cache := core.NewStructuralCache(1)
+	sys1, dropped := synthSample(t, 1, benchmarks.MapLoadBalance)
+	sys2, _ := synthSample(t, 2, benchmarks.MapLoadBalance)
+	cfg := core.NewConfig()
+	cfg.Workers = 1
+	cfg.Structural = cache
+	if _, err := core.Analyze(sys1, dropped, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Analyze(sys2, dropped, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d structures, want 1 (capacity bound)", cache.Len())
+	}
+	// The survivor must be the most recent structure: re-analyzing sys2
+	// hits, sys1 misses.
+	rep2, err := core.Analyze(sys2, dropped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.StructHits == 0 {
+		t.Fatal("most recent structure evicted")
+	}
+	rep1, err := core.Analyze(sys1, dropped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.StructHits != 0 {
+		t.Fatal("evicted structure reported a hit")
+	}
+}

@@ -17,10 +17,75 @@ import (
 // lookup and fill phases of evaluateAll, which also keeps the LRU update
 // order (and therefore the hit/miss trajectory) deterministic for a
 // given seed.
+//
+// The cache is adaptive: workloads with high mutation rates or huge
+// genome spaces may never reproduce a genome, in which case every
+// generation pays the key-construction and map overhead for nothing.
+// note() tracks the rolling hit rate over the last bypassWindow
+// generations; when it stays under bypassThreshold the cache switches
+// itself off for bypassSpan generations (evaluateAll then skips lookups
+// AND fills entirely), after which one probe generation decides whether
+// the bypass re-arms. All decisions run in the sequential merge phase,
+// so the bypass trajectory is as deterministic as the hit trajectory.
 type fitnessCache struct {
 	capacity int
 	ll       *list.List // front = most recently used
 	byKey    map[string]*list.Element
+
+	// rates holds the hit rates of the most recent non-bypassed
+	// generations (at most bypassWindow); bypassLeft counts remaining
+	// bypassed generations.
+	rates      []float64
+	bypassLeft int
+}
+
+const (
+	// bypassWindow is how many consecutive generations of hit rates feed
+	// the bypass decision.
+	bypassWindow = 3
+	// bypassThreshold is the mean hit rate under which the window
+	// triggers a bypass.
+	bypassThreshold = 0.05
+	// bypassSpan is how many generations a triggered bypass lasts before
+	// the cache probes again.
+	bypassSpan = 8
+)
+
+// bypassed reports whether the current generation should skip the cache.
+func (c *fitnessCache) bypassed() bool { return c.bypassLeft > 0 }
+
+// note records one generation's outcome and advances the bypass state.
+// Call exactly once per evaluateAll batch, after the merge phase.
+func (c *fitnessCache) note(hits, misses int) {
+	if c.bypassLeft > 0 {
+		c.bypassLeft--
+		if c.bypassLeft == 0 {
+			// Prime the window with zeros: the upcoming probe generation
+			// re-triggers the bypass on its own if its hit rate is still
+			// low, instead of needing a full window of cold evidence.
+			c.rates = append(c.rates[:0], 0, 0)
+		}
+		return
+	}
+	total := hits + misses
+	if total == 0 {
+		return
+	}
+	c.rates = append(c.rates, float64(hits)/float64(total))
+	if len(c.rates) > bypassWindow {
+		c.rates = c.rates[1:]
+	}
+	if len(c.rates) < bypassWindow {
+		return
+	}
+	sum := 0.0
+	for _, r := range c.rates {
+		sum += r
+	}
+	if sum/float64(len(c.rates)) < bypassThreshold {
+		c.bypassLeft = bypassSpan
+		c.rates = c.rates[:0]
+	}
 }
 
 type cacheEntry struct {

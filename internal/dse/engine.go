@@ -49,11 +49,12 @@ type Individual struct {
 	scen scenarioTally
 }
 
-// scenarioTally aggregates the Report scenario counters of one
-// evaluation (both the dropping and the no-dropping analysis when
-// TrackDroppingGain doubles them up).
+// scenarioTally aggregates the Report scenario and structural-cache
+// counters of one evaluation (both the dropping and the no-dropping
+// analysis when TrackDroppingGain doubles them up).
 type scenarioTally struct {
 	analyzed, deduped, pruned, incremental int
+	structHits, structMisses, warmJobs     int
 }
 
 func (t *scenarioTally) add(rep *core.Report) {
@@ -61,6 +62,9 @@ func (t *scenarioTally) add(rep *core.Report) {
 	t.deduped += rep.ScenariosDeduped
 	t.pruned += rep.ScenariosPruned
 	t.incremental += rep.ScenariosIncremental
+	t.structHits += rep.StructHits
+	t.structMisses += rep.StructMisses
+	t.warmJobs += rep.StructWarmJobs
 }
 
 // Options tunes the GA run. The paper uses population = parents =
@@ -86,8 +90,23 @@ type Options struct {
 	// Analyze entirely; hit/miss counts surface in Stats and GenStat.
 	// Memoization never changes the optimization trajectory: evaluation
 	// is deterministic per genome, and cache hits are replayed as fresh
-	// Individual values.
+	// Individual values. The cache is adaptive: when the rolling hit
+	// rate over recent generations stays under a threshold it bypasses
+	// itself for a span of generations (skipping key construction and
+	// lookups entirely) and re-probes afterwards, so workloads whose
+	// offspring rarely repeat never pay the memoization overhead.
+	// Bypassed generations are flagged in GenStat.CacheBypassed and
+	// counted in Stats.CacheBypassed.
 	FitnessCacheSize int
+	// StructuralCacheSize bounds the cross-candidate structural cache in
+	// structures (core.Config.Structural). Zero selects the default
+	// (512); negative disables. Sibling candidates sharing hardening and
+	// drop decisions but differing in mapping then warm-start each
+	// other's fault-free and critical-reference passes; the reported
+	// bounds are identical to cold analyses. Counters surface in
+	// Stats.StructHits/StructMisses/WarmStartJobs and per generation in
+	// GenStat.
+	StructuralCacheSize int
 	// Selector is the environmental selection strategy (default SPEA2,
 	// as in the paper).
 	Selector Selector
@@ -146,6 +165,14 @@ type GenStat struct {
 	// outcomes (both zero when memoization is disabled).
 	CacheHits   int
 	CacheMisses int
+	// CacheBypassed marks generations the adaptive fitness cache sat out
+	// because the rolling hit rate stayed under its threshold.
+	CacheBypassed bool
+	// StructHits and StructMisses are this generation's structural-cache
+	// outcomes: Analyze calls that found (respectively missed) a
+	// structural sibling to warm-start from.
+	StructHits   int
+	StructMisses int
 }
 
 // Stats aggregates exploration statistics over every evaluated candidate
@@ -168,6 +195,17 @@ type Stats struct {
 	// when memoization is on; both stay zero when it is disabled.
 	CacheHits   int
 	CacheMisses int
+	// CacheBypassed counts generations the adaptive fitness cache
+	// bypassed itself (low rolling hit rate).
+	CacheBypassed int
+	// StructHits counts Analyze calls whose compiled structure was found
+	// in the cross-candidate structural cache; StructMisses counts calls
+	// that seeded a fresh entry; WarmStartJobs counts the cold passes
+	// (fault-free, all-critical reference) actually replaced by sibling
+	// warm starts. All zero when structural caching is disabled.
+	StructHits    int
+	StructMisses  int
+	WarmStartJobs int
 	// ScenariosAnalyzed..ScenariosIncremental aggregate the core.Report
 	// scenario counters over every candidate that actually ran the
 	// analysis backend (fitness-cache replays are not re-counted):
@@ -236,6 +274,9 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	if opts.FitnessCacheSize > 0 {
 		ev.cache = newFitnessCache(opts.FitnessCacheSize)
 	}
+	if opts.StructuralCacheSize >= 0 {
+		ev.cfg.Structural = core.NewStructuralCache(opts.StructuralCacheSize)
+	}
 
 	prepare := func(g *Genome) *Genome {
 		if opts.DisableDropping {
@@ -303,7 +344,8 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 // snapshot records one generation.
 func snapshot(gen int, archive []*Individual, gc genCacheStats) GenStat {
 	gs := GenStat{Gen: gen, BestPower: -1, ArchiveSize: len(archive),
-		CacheHits: gc.hits, CacheMisses: gc.misses}
+		CacheHits: gc.hits, CacheMisses: gc.misses, CacheBypassed: gc.bypassed,
+		StructHits: gc.structHits, StructMisses: gc.structMisses}
 	for _, ind := range archive {
 		if !ind.Feasible {
 			continue
@@ -363,8 +405,15 @@ type evaluator struct {
 	cache *fitnessCache
 }
 
-// genCacheStats is one batch's fitness-cache outcome.
-type genCacheStats struct{ hits, misses int }
+// genCacheStats is one batch's caching outcome: fitness-cache hits and
+// misses (with the adaptive-bypass flag), plus the structural-cache
+// counters aggregated over the batch's actually-evaluated candidates.
+type genCacheStats struct {
+	hits, misses             int
+	bypassed                 bool
+	structHits, structMisses int
+	warmJobs                 int
+}
 
 // evaluateAll scores a batch of genomes and folds statistics. It runs in
 // three phases so the result — including the cache hit/miss trajectory —
@@ -380,6 +429,11 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 	var gc genCacheStats
 
 	// ---- Phase 1: lookups and intra-batch dedup (sequential) ----------
+	// The adaptive bypass switches the whole phase off for generations
+	// where the cache has stopped paying; gc.bypassed records the state
+	// BEFORE this batch's note() advances it.
+	useCache := ev.cache != nil && !ev.cache.bypassed()
+	gc.bypassed = ev.cache != nil && !useCache
 	toEval := make([]int, 0, len(genomes))
 	var (
 		keys     []string
@@ -387,7 +441,7 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 		firstIdx map[string]int
 		dupOf    map[int]int
 	)
-	if ev.cache != nil {
+	if useCache {
 		keys = make([]string, len(genomes))
 		hits = make([]*Individual, len(genomes))
 		firstIdx = make(map[string]int, len(genomes))
@@ -412,6 +466,26 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 	}
 
 	// ---- Phase 2: evaluate the misses (parallel) ----------------------
+	// Launch the misses sorted by genome shape so candidates compiling
+	// to the same job set run back to back. With structural caching on,
+	// the first sibling of each shape seeds the cache while its peers
+	// are still queued behind the worker budget, and the peers then
+	// warm-start instead of converging from scratch. Even without it the
+	// ordering pays: adjacent evaluations of look-alike genomes hit warm
+	// CPU caches and recycle same-sized allocations, recovering some of
+	// the locality the dedup in phase 1 takes away from repeated
+	// genomes. The sort is stable over batch order, so the schedule
+	// stays deterministic; results are written by original index, so
+	// nothing downstream moves.
+	if len(toEval) > 1 {
+		shapes := make(map[int]string, len(toEval))
+		for _, i := range toEval {
+			shapes[i] = genomes[i].ShapeKey()
+		}
+		sort.SliceStable(toEval, func(a, b int) bool {
+			return shapes[toEval[a]] < shapes[toEval[b]]
+		})
+	}
 	errs := make([]error, len(genomes))
 	var wg sync.WaitGroup
 	for _, i := range toEval {
@@ -432,10 +506,16 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 		stats.ScenariosDeduped += out[i].scen.deduped
 		stats.ScenariosPruned += out[i].scen.pruned
 		stats.ScenariosIncremental += out[i].scen.incremental
+		gc.structHits += out[i].scen.structHits
+		gc.structMisses += out[i].scen.structMisses
+		gc.warmJobs += out[i].scen.warmJobs
 	}
+	stats.StructHits += gc.structHits
+	stats.StructMisses += gc.structMisses
+	stats.WarmStartJobs += gc.warmJobs
 
 	// ---- Phase 3: merge and fill the cache (sequential, batch order) --
-	if ev.cache != nil {
+	if useCache {
 		for i := range genomes {
 			switch {
 			case hits[i] != nil:
@@ -444,8 +524,11 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 			case out[i] != nil:
 				gc.misses++
 				// Store a pristine clone: the live Individual's Fitness
-				// is mutated by the selector.
-				ev.cache.put(keys[i], out[i].cloneFor(out[i].Genome))
+				// is mutated by the selector. The clone carries no genome
+				// — hits re-attribute to the requesting genome anyway, and
+				// a stored pointer would keep every evaluated genome alive
+				// for the cache's lifetime, inflating GC mark work.
+				ev.cache.put(keys[i], out[i].cloneFor(nil))
 			default: // intra-batch duplicate of an evaluated genome
 				gc.hits++
 				out[i] = out[dupOf[i]].cloneFor(genomes[i])
@@ -453,6 +536,12 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 		}
 		stats.CacheHits += gc.hits
 		stats.CacheMisses += gc.misses
+	}
+	if ev.cache != nil {
+		ev.cache.note(gc.hits, gc.misses)
+		if gc.bypassed {
+			stats.CacheBypassed++
+		}
 	}
 
 	for _, ind := range out {

@@ -30,10 +30,12 @@ func WriteFrontCSV(w io.Writer, res *Result) error {
 }
 
 // WriteHistoryCSV writes the per-generation convergence record as CSV
-// (generation, best_power_w, feasible_in_archive, archive_size).
+// (generation, best_power_w, feasible_in_archive, archive_size, plus the
+// fitness- and structural-cache columns for cache-behavior plots).
 func WriteHistoryCSV(w io.Writer, res *Result) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"generation", "best_power_w", "feasible", "archive"}); err != nil {
+	if err := cw.Write([]string{"generation", "best_power_w", "feasible", "archive",
+		"cache_hits", "cache_misses", "cache_bypassed", "struct_hits", "struct_misses"}); err != nil {
 		return err
 	}
 	for _, h := range res.History {
@@ -41,9 +43,15 @@ func WriteHistoryCSV(w io.Writer, res *Result) error {
 		if h.BestPower >= 0 {
 			best = strconv.FormatFloat(h.BestPower, 'f', 6, 64)
 		}
+		bypassed := "0"
+		if h.CacheBypassed {
+			bypassed = "1"
+		}
 		rec := []string{
 			strconv.Itoa(h.Gen), best,
 			strconv.Itoa(h.Feasible), strconv.Itoa(h.ArchiveSize),
+			strconv.Itoa(h.CacheHits), strconv.Itoa(h.CacheMisses), bypassed,
+			strconv.Itoa(h.StructHits), strconv.Itoa(h.StructMisses),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

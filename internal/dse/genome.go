@@ -88,6 +88,25 @@ func (g *Genome) Key() string {
 	return string(buf)
 }
 
+// ShapeKey fingerprints the genome's STRUCTURE — the keep/drop section
+// and each gene's hardening decision (technique, degree, clone count) —
+// while ignoring everything mapping-related (allocation bits, task,
+// replica and voter bindings). Genomes with equal shape keys compile to
+// systems with identical job sets, so the evaluator sorts each
+// generation's cache misses by this key to run structural siblings back
+// to back, maximizing warm-start reuse through core.StructuralCache.
+func (g *Genome) ShapeKey() string {
+	buf := make([]byte, 0, len(g.Keep)+len(g.Genes)*3)
+	for _, b := range g.Keep {
+		buf = append(buf, boolByte(b))
+	}
+	for i := range g.Genes {
+		ge := &g.Genes[i]
+		buf = append(buf, byte(ge.Technique), byte(ge.K), byte(ge.Replicas))
+	}
+	return string(buf)
+}
+
 func boolByte(b bool) byte {
 	if b {
 		return 1

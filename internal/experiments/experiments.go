@@ -262,7 +262,7 @@ func RescueRatio(benchName string, opts dse.Options) (*RescueResult, error) {
 // RenderRescue prints the ratio table.
 func RenderRescue(rows []*RescueResult) string {
 	t := texttable.New("Section 5.2: solutions rescued by task dropping, and re-execution share")
-	t.Row("benchmark", "evaluated", "feasible", "rescued by dropping", "re-execution share", "scenario analyses")
+	t.Row("benchmark", "evaluated", "feasible", "rescued by dropping", "re-execution share", "scenario analyses", "caches (fitness / structural)")
 	t.Sep()
 	for _, r := range rows {
 		t.Row(r.Benchmark, r.Stats.Evaluated, r.Stats.Feasible,
@@ -270,7 +270,10 @@ func RenderRescue(rows []*RescueResult) string {
 			fmt.Sprintf("%.2f%%", 100*r.Stats.ReExecutionShare()),
 			fmt.Sprintf("%d (-%d dedup, -%d pruned, %d warm)",
 				r.Stats.ScenariosAnalyzed, r.Stats.ScenariosDeduped,
-				r.Stats.ScenariosPruned, r.Stats.ScenariosIncremental))
+				r.Stats.ScenariosPruned, r.Stats.ScenariosIncremental),
+			fmt.Sprintf("%d/%d hit / %d hit %d warm",
+				r.Stats.CacheHits, r.Stats.CacheHits+r.Stats.CacheMisses,
+				r.Stats.StructHits, r.Stats.WarmStartJobs))
 	}
 	return t.String()
 }

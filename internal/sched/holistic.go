@@ -37,7 +37,7 @@ import (
 // A Holistic instance is safe for concurrent use: Analyze keeps all
 // per-call state in a Result or in pooled scratch buffers, so one
 // instance may be shared by every worker of a parallel scenario fan-out.
-// Do not copy a Holistic after first use (it embeds a sync.Pool).
+// Do not copy a Holistic after first use (it embeds a sync.Mutex).
 type Holistic struct {
 	// MaxOuterIters caps the outer fixed point; zero selects the default
 	// (256). Hitting the cap saturates unconverged jobs to infinity,
@@ -47,8 +47,45 @@ type Holistic struct {
 	// scratch recycles the fixed-point working sets across Analyze calls.
 	// Under the DSE loop the backend runs millions of times on
 	// same-sized systems; reusing the buffers removes the dominant
-	// allocation churn from the hot path.
-	scratch sync.Pool
+	// allocation churn from the hot path. An explicit freelist rather
+	// than a sync.Pool: pool entries die on every GC cycle, and with
+	// them the per-system kernel builds cached inside each scratch —
+	// under allocation-heavy scenario fan-outs that turned kernel
+	// rebuilding into a measurable fraction of the analysis itself.
+	scratch scratchFreelist
+}
+
+// scratchFreelist is a mutex-guarded stack of scratches. Get/Put critical
+// sections are a pointer pop/push, so contention stays negligible even
+// with every scenario worker cycling a scratch per analysis.
+type scratchFreelist struct {
+	mu   sync.Mutex
+	free []*holisticScratch
+}
+
+// scratchFreelistCap bounds retained scratches; beyond it, Put drops the
+// scratch for the GC. Concurrency is bounded by worker counts far below
+// this in practice.
+const scratchFreelistCap = 64
+
+func (p *scratchFreelist) Get() *holisticScratch {
+	p.mu.Lock()
+	var s *holisticScratch
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	return s
+}
+
+func (p *scratchFreelist) Put(s *holisticScratch) {
+	p.mu.Lock()
+	if len(p.free) < scratchFreelistCap {
+		p.free = append(p.free, s)
+	}
+	p.mu.Unlock()
 }
 
 // holisticScratch is one worker's reusable working set.
@@ -56,19 +93,40 @@ type holisticScratch struct {
 	minAct, maxFinish, activation []model.Time
 	busDelay                      map[edgeKey]model.Time
 	msgs                          []busMsg
+	// kern holds the system's precomputed peer segments (see kernel.go);
+	// kernSys remembers which system it was built for, so every analysis
+	// of the same system through this scratch — baseline, reference and
+	// all scenario runs — shares one build.
+	kern    holisticKernel
+	kernSys *platform.System
+	// sweepDirty + the per-processor wake watermarks drive worstPass's
+	// chaotic-iteration skip: only nodes whose inputs changed since
+	// their last recompute are revisited.
+	sweepDirty             []bool
+	procWake, procWakePrev []int
+	// peers packs, per node, the two admission-scan inputs that stay
+	// constant for a whole pass — the contribution and the gate time —
+	// into one 16-byte entry, so the hot partition scans touch two
+	// memory streams (peers, maxFinish) instead of three.
+	peers []peerState
 	// aff and stack serve AnalyzeFrom's dirty-closure computation.
 	aff   []bool
 	stack []platform.NodeID
 }
 
-func (h *Holistic) getScratch(n int) *holisticScratch {
-	s, _ := h.scratch.Get().(*holisticScratch)
+func (h *Holistic) getScratch(sys *platform.System) *holisticScratch {
+	s := h.scratch.Get()
 	if s == nil {
 		s = &holisticScratch{busDelay: make(map[edgeKey]model.Time)}
 	}
+	n := len(sys.Nodes)
 	s.minAct = resizeTimes(s.minAct, n)
 	s.maxFinish = resizeTimes(s.maxFinish, n)
 	s.activation = resizeTimes(s.activation, n)
+	if s.kernSys != sys {
+		s.kern.build(sys)
+		s.kernSys = sys
+	}
 	return s
 }
 
@@ -80,6 +138,44 @@ func resizeTimes(s []model.Time, n int) []model.Time {
 	s = s[:n]
 	for i := range s {
 		s[i] = 0
+	}
+	return s
+}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)
+
+// peerState is one node's packed admission-scan inputs. Both hot scans
+// follow the same shape — "admit the peer and accumulate its
+// contribution unless its gate time postpones it" — so one layout
+// serves both: worstFinish packs {wcet, minAct}, the guaranteed-demand
+// scan of improveBestCase packs {bcet, worst-case activation}. Each
+// pass rebuilds the vector once (the inputs are constant for the whole
+// pass), which is noise next to the scans it feeds.
+type peerState struct {
+	c    model.Time // contribution added when the peer is admitted
+	gate model.Time // time gating the admission test
+}
+
+// resizePeers returns a slice of length n, reusing capacity.
+func resizePeers(s []peerState, n int) []peerState {
+	if cap(s) < n {
+		return make([]peerState, n)
+	}
+	return s[:n]
+}
+
+// resizeInts returns a fill-initialized slice of length n, reusing
+// capacity.
+func resizeInts(s []int, n, fill int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = fill
 	}
 	return s
 }
@@ -106,7 +202,7 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 	}
 	n := len(sys.Nodes)
 	res := &Result{Bounds: make([]Bounds, n)}
-	s := h.getScratch(n)
+	s := h.getScratch(sys)
 	defer h.scratch.Put(s)
 
 	// ---- Phase A: precedence-only best-case pass ------------------------
@@ -140,7 +236,7 @@ func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, er
 		// minStart tightens the Algorithm 1 before/after-the-fault
 		// classifications, and the improved predecessor finishes lift the
 		// activation bounds used by the exclusion tests.
-		improved, capped := h.improveBestCase(sys, exec, res, minAct, activation, nil)
+		improved, capped := h.improveBestCase(sys, exec, res, minAct, activation, s, nil)
 		if improved {
 			// ---- Phase D: re-run the worst case with tighter exclusions.
 			diverged = h.worstPass(sys, exec, res, minAct, maxFinish, activation, s, nil)
@@ -202,23 +298,53 @@ func (h *Holistic) bestCasePrec(sys *platform.System, exec []ExecBounds, res *Re
 // only the affected equations converges to the same least fixed point a
 // full sweep would reach.
 func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Result, minAct, maxFinish, activation []model.Time, s *holisticScratch, aff []bool) bool {
+	// Chaotic-iteration skip state: a node is revisited only while some
+	// input of its equation may have moved since its last recompute.
+	// Graph-successor wakes are marked per node (dirty); same-processor
+	// wakes are folded into one watermark per processor — the minimum
+	// priority that changed (every lower-priority peer reads the changed
+	// finish through the interference/exclusion tests; non-preemptive
+	// processors wake all peers via the blocking term, encoded as
+	// watermark minInt). Two generations keep the in-place sweep
+	// semantics: a change made mid-sweep must wake readers earlier in
+	// the order on the NEXT sweep, so a generation is dropped only after
+	// one full sweep has tested it.
+	s.sweepDirty = resizeBools(s.sweepDirty, len(maxFinish))
+	dirty := s.sweepDirty
+	nproc := len(sys.Arch.Procs)
+	s.procWake = resizeInts(s.procWake, nproc, maxInt)
+	s.procWakePrev = resizeInts(s.procWakePrev, nproc, maxInt)
+	wake, wakePrev := s.procWake, s.procWakePrev
 	for i := range maxFinish {
 		if aff == nil || aff[i] {
 			maxFinish[i] = res.Bounds[i].MinFinish
 			activation[i] = res.Bounds[i].MinStart
+			dirty[i] = true
 		}
 	}
 	limit := sys.Hyperperiod * 4
 	busDelay := h.initBusDelays(sys, s.busDelay)
+	arbitrated := sys.Arch.Fabric.Arbitrated()
+
+	// Pack the scan inputs worstFinish reads per peer: both are constant
+	// for the whole pass (minAct is written only by phases A and C).
+	s.peers = resizePeers(s.peers, len(minAct))
+	peers := s.peers
+	for i := range peers {
+		peers[i] = peerState{c: exec[i].W, gate: minAct[i]}
+	}
 
 	iters := 0
 	for ; iters < h.maxOuterIters(); iters++ {
 		changed := false
-		if sys.Arch.Fabric.Arbitrated() {
+		if arbitrated {
 			// Bus delays couple all senders globally, so AnalyzeFrom
 			// never warm-starts arbitrated fabrics (aff is nil here).
 			if h.updateBusDelays(sys, exec, res, maxFinish, busDelay, s) {
 				changed = true
+				for i := range dirty {
+					dirty[i] = true
+				}
 			}
 		}
 		for gi := range sys.GraphNodes {
@@ -227,10 +353,19 @@ func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Resul
 					continue
 				}
 				node := sys.Nodes[nid]
+				// Skip a node none of whose inputs moved since its last
+				// recompute: it would reproduce its current act/fin
+				// exactly, so revisiting cannot change anything — the
+				// skip preserves every sweep's values and the sweep
+				// count verbatim.
+				if !dirty[nid] && wakePrev[node.Proc] >= node.Priority && wake[node.Proc] >= node.Priority {
+					continue
+				}
+				dirty[nid] = false
 				act := node.Release
 				for _, e := range node.In {
 					d := e.Delay
-					if sys.Arch.Fabric.Arbitrated() && d > 0 {
+					if arbitrated && d > 0 {
 						d = busDelay[edgeKey{e.From, e.To}]
 					}
 					f := model.SatAdd(maxFinish[e.From], d)
@@ -240,17 +375,33 @@ func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Resul
 				}
 				fin := model.Time(model.Infinity)
 				if !act.IsInfinite() {
-					fin = h.worstFinish(sys, exec, minAct, maxFinish, nid, act, limit)
+					fin = h.worstFinish(&s.kern, peers, maxFinish, nid, act, limit)
 				}
 				if act != activation[nid] || fin != maxFinish[nid] {
 					changed = true
 					activation[nid] = act
 					maxFinish[nid] = fin
+					for _, e := range node.Out {
+						dirty[e.To] = true
+					}
+					w := node.Priority
+					if node.NonPreemptive {
+						w = minInt
+					}
+					if w < wake[node.Proc] {
+						wake[node.Proc] = w
+					}
 				}
 			}
 		}
 		if !changed {
 			break
+		}
+		// Promote this sweep's wakes; the previous generation has now
+		// been seen by every node and can be dropped.
+		wake, wakePrev = wakePrev, wake
+		for i := range wake {
+			wake[i] = maxInt
 		}
 	}
 	res.Iterations += iters
@@ -268,7 +419,28 @@ func (h *Holistic) worstPass(sys *platform.System, exec []ExecBounds, res *Resul
 // aff restricts the sweep exactly as in worstPass: nil lifts every
 // node; otherwise unaffected nodes must already hold their converged
 // post-C values and only affected equations iterate.
-func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res *Result, minAct, activation []model.Time, aff []bool) (improved, capped bool) {
+func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res *Result, minAct, activation []model.Time, sc *holisticScratch, aff []bool) (improved, capped bool) {
+	// Chaotic-iteration skip, successor-driven: a node's improvement
+	// equations read only its predecessors' MinFinish (worst-case
+	// activations are constant for the whole pass, and every node's own
+	// update is idempotent), so after the first sweep only nodes below a
+	// changed MinFinish need revisiting. Skipped nodes would reproduce
+	// their bounds verbatim, keeping sweep values and counts identical
+	// to the full sweep.
+	sc.sweepDirty = resizeBools(sc.sweepDirty, len(sys.Nodes))
+	dirty := sc.sweepDirty
+	for i := range dirty {
+		if aff == nil || aff[i] {
+			dirty[i] = true
+		}
+	}
+	// Pack the guaranteed-demand scan inputs: worst-case activations and
+	// best-case execution times are both constant for the whole pass.
+	sc.peers = resizePeers(sc.peers, len(sys.Nodes))
+	peers := sc.peers
+	for i := range peers {
+		peers[i] = peerState{c: exec[i].B, gate: activation[i]}
+	}
 	capped = true
 	for sweep := 0; sweep < 64; sweep++ {
 		changed := false
@@ -277,6 +449,10 @@ func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res 
 				if aff != nil && !aff[nid] {
 					continue
 				}
+				if !dirty[nid] {
+					continue
+				}
+				dirty[nid] = false
 				node := sys.Nodes[nid]
 				prec := node.Release
 				for _, e := range node.In {
@@ -300,35 +476,53 @@ func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res 
 						res.Bounds[nid].MinFinish = prec
 						changed = true
 						improved = true
+						for _, e := range node.Out {
+							dirty[e.To] = true
+						}
 					}
 					continue
 				}
 				s := model.MaxTime(prec, res.Bounds[nid].MinStart)
 				// Inner fixed point: growing s can only admit more
-				// guaranteed-earlier jobs.
+				// guaranteed-earlier jobs, so the demand segment runs
+				// through the same monotone partition scan as worstFinish:
+				// each round visits only the peers the previous rounds
+				// could not admit.
+				seg := sc.kern.demandSeg(nid)
+				var demand model.Time
+				pend := len(seg)
 				for {
-					var demand model.Time
-					for _, pid := range sys.ProcNodes[node.Proc] {
-						p := sys.Nodes[pid]
-						if p.Priority >= node.Priority {
-							break
-						}
-						if activation[pid].IsInfinite() || activation[pid] > s {
+					kept := 0
+					for i := 0; i < pend; i++ {
+						pid := seg[i]
+						p := peers[pid]
+						if p.gate.IsInfinite() || p.gate > s {
+							seg[i], seg[kept] = seg[kept], seg[i]
+							kept++
 							continue
 						}
-						demand = model.SatAdd(demand, exec[pid].B)
+						demand = model.SatAdd(demand, p.c)
 					}
+					pend = kept
 					ns := model.MaxTime(prec, demand)
 					if ns <= s {
 						break
 					}
 					s = ns
+					if pend == 0 {
+						// Demand is closed: the next round would only
+						// reconfirm s.
+						break
+					}
 				}
 				if s > res.Bounds[nid].MinStart {
 					res.Bounds[nid].MinStart = s
 					res.Bounds[nid].MinFinish = model.SatAdd(s, exec[nid].B)
 					changed = true
 					improved = true
+					for _, e := range node.Out {
+						dirty[e.To] = true
+					}
 				}
 			}
 		}
@@ -343,74 +537,90 @@ func (h *Holistic) improveBestCase(sys *platform.System, exec []ExecBounds, res 
 // worstFinish computes the worst-case finish of job nid given its
 // worst-case activation act: act plus the busy window over
 // non-excludable higher-priority same-processor jobs.
-func (h *Holistic) worstFinish(sys *platform.System, exec []ExecBounds, minAct, maxFinish []model.Time, nid platform.NodeID, act, limit model.Time) model.Time {
-	node := sys.Nodes[nid]
-	own := exec[nid].W
+//
+// The static exclusions (priority prefix, zero-wcet jobs, transitive
+// relatives) are pre-resolved into the kernel's peer segments, so the
+// busy-window recurrence runs as a monotone admission scan: the window
+// only grows, hence the admitted peer set only grows, and each round
+// partitions the still-pending candidates in place, scanning only what
+// the previous rounds could not admit. The admitted contributions and
+// the recurrence values match the naive full-rescan formulation term
+// for term — saturating addition over non-negative times is
+// order-independent — so the fixed point is identical.
+func (h *Holistic) worstFinish(k *holisticKernel, peers []peerState, maxFinish []model.Time, nid platform.NodeID, act, limit model.Time) model.Time {
+	own := peers[nid].c
 	if own == 0 {
 		// Zero-wcet jobs (dropped or uninvoked passive replicas) complete
 		// instantaneously upon activation.
 		return act
 	}
-	peers := sys.ProcNodes[node.Proc]
+	// Exclusion 1 drops peers that certainly finished before i can first
+	// activate: maxFinish[j] <= minAct[i] with maxFinish[j] finite. Both
+	// tests collapse into one compare against a precomputed bound — for a
+	// finite minAct[i] the compared finish is necessarily finite, and for
+	// an infinite minAct[i] the bound Infinity-1 admits exactly the
+	// divergent peers (SatAdd clamps at Infinity, so no finish lands in
+	// between).
+	excl1 := peers[nid].gate
+	if excl1.IsInfinite() {
+		excl1 = model.Infinity - 1
+	}
 	// Non-preemptive processors add a single blocking term: at most one
 	// lower-priority job can already occupy the processor when i
 	// activates, and it then runs to completion. The higher-priority
 	// interference window below is kept unchanged — charging jobs that
 	// arrive during i's own (unpreemptable) execution is conservative.
+	// The block segment is empty on preemptive processors.
 	var block model.Time
-	if node.NonPreemptive {
-		for _, pid := range peers {
-			p := sys.Nodes[pid]
-			if p.Priority <= node.Priority {
-				continue
-			}
-			c := exec[pid].W
-			if c == 0 || c <= block {
-				continue
-			}
-			// Cannot block: certainly finished before i can activate, is
-			// a relative of i (ancestors finished; descendants cannot
-			// start), or certainly activates after i does.
-			if maxFinish[pid] <= minAct[nid] && !maxFinish[pid].IsInfinite() {
-				continue
-			}
-			if sys.IsAncestor(pid, nid) || sys.IsAncestor(nid, pid) {
-				continue
-			}
-			if minAct[pid] >= act {
-				continue
-			}
-			block = c
+	for _, pid := range k.blockSeg(nid) {
+		p := peers[pid]
+		if p.c <= block {
+			continue
 		}
+		// Cannot block: certainly finished before i can activate, or
+		// certainly activates after i does. (Relatives were excluded
+		// statically: ancestors finished; descendants cannot start.)
+		if maxFinish[pid] <= excl1 {
+			continue
+		}
+		if p.gate >= act {
+			continue
+		}
+		block = p.c
 	}
-	win := model.SatAdd(own, block)
-	for iter := 0; iter < 1_000_000; iter++ {
-		next := model.SatAdd(own, block)
-		for _, pid := range peers {
-			p := sys.Nodes[pid]
-			if p.Priority >= node.Priority {
-				break // peers are sorted: no more higher-priority jobs
+	base := model.SatAdd(own, block)
+	seg := k.interfSeg(nid)
+	win := base
+	var sum model.Time
+	pend := len(seg)
+	for {
+		// Admit every pending peer that can activate before the current
+		// window closes (exclusion 3 is the only window-dependent test;
+		// exclusion 1 and the zero-wcet test depend only on state fixed
+		// for the whole call, so resolving them once at admission time is
+		// exact). Admitted and statically-excluded entries swap behind the
+		// pending prefix, so the next round scans only what this one
+		// could not decide.
+		threshold := model.SatAdd(act, win)
+		kept := 0
+		for i := 0; i < pend; i++ {
+			pid := seg[i]
+			p := peers[pid]
+			if p.c == 0 {
+				continue // dropped or uninvoked: contributes nothing
 			}
-			c := exec[pid].W
-			if c == 0 {
+			if p.gate >= threshold {
+				seg[i], seg[kept] = seg[kept], seg[i]
+				kept++
 				continue
 			}
-			// Exclusion 1: j certainly finished before i can first
-			// activate.
-			if maxFinish[pid] <= minAct[nid] && !maxFinish[pid].IsInfinite() {
+			if maxFinish[pid] <= excl1 {
 				continue
 			}
-			// Exclusion 2: j is a transitive predecessor of i — its
-			// completion already defines i's activation.
-			if sys.IsAncestor(pid, nid) {
-				continue
-			}
-			// Exclusion 3: j certainly activates after i's window closes.
-			if minAct[pid] >= model.SatAdd(act, win) {
-				continue
-			}
-			next = model.SatAdd(next, c)
+			sum = model.SatAdd(sum, p.c)
 		}
+		pend = kept
+		next := model.SatAdd(base, sum)
 		if next > limit {
 			return model.Infinity
 		}
@@ -418,6 +628,12 @@ func (h *Holistic) worstFinish(sys *platform.System, exec []ExecBounds, minAct, 
 			break
 		}
 		win = next
+		if pend == 0 {
+			// No-jitter fast path: every admissible peer is already in,
+			// so the recurrence is closed — the next round would only
+			// reconfirm win.
+			break
+		}
 	}
 	fin := model.SatAdd(act, win)
 	if fin > limit {

@@ -69,37 +69,31 @@ func resizeBools(s []bool, n int) []bool {
 // affectedClosure expands the dirty set to every node whose bounds can
 // differ from the baseline's, marking them in aff (len(aff) == nodes,
 // all false on entry) and returning the affected count plus the reusable
-// stack. Propagation rules mirror the dependency structure of the
-// holistic equations: a dirty node invalidates its graph successors
-// (activation), its lower-priority same-processor neighbours
-// (interference and exclusion tests) and, when the processor schedules
-// non-preemptively, every same-processor neighbour (the blocking term
-// reads lower-priority execution times).
-func affectedClosure(sys *platform.System, dirty, aff []bool, stack []platform.NodeID) (int, []platform.NodeID) {
+// stack. Propagation follows the kernel's precomputed reader segments,
+// which mirror the dependency structure of the holistic equations: a
+// dirty node invalidates its graph successors (activation), its
+// lower-priority same-processor neighbours (interference and exclusion
+// tests) and, when the processor schedules non-preemptively, every
+// same-processor neighbour (the blocking term reads lower-priority
+// execution times).
+func affectedClosure(k *holisticKernel, dirty, aff []bool, stack []platform.NodeID) (int, []platform.NodeID) {
 	count := 0
 	stack = stack[:0]
-	push := func(id platform.NodeID) {
-		if !aff[id] {
-			aff[id] = true
-			count++
-			stack = append(stack, id)
-		}
-	}
 	for i, d := range dirty {
-		if d {
-			push(platform.NodeID(i))
+		if d && !aff[i] {
+			aff[i] = true
+			count++
+			stack = append(stack, platform.NodeID(i))
 		}
 	}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		node := sys.Nodes[id]
-		for _, e := range node.Out {
-			push(e.To)
-		}
-		for _, pid := range sys.ProcNodes[node.Proc] {
-			if node.NonPreemptive || sys.Nodes[pid].Priority > node.Priority {
-				push(pid)
+		for _, rid := range k.readersSeg(id) {
+			if !aff[rid] {
+				aff[rid] = true
+				count++
+				stack = append(stack, rid)
 			}
 		}
 	}
@@ -111,8 +105,11 @@ func affectedClosure(sys *platform.System, dirty, aff []bool, stack []platform.N
 // Analyze(sys, exec) would, warm-starting from the baseline whenever the
 // dirty closure is a proper subset of the system. Result.Iterations
 // counts only the incremental sweeps and is therefore smaller than the
-// cold run's. The returned Result carries no warm state of its own:
-// scenario results never serve as baselines.
+// cold run's. The returned Result records the same warm state a cold
+// run would (clean entries pinned from the baseline, affected entries
+// re-converged), so warm-started results can themselves serve as
+// baselines — the structural candidate cache in internal/core relies
+// on this to chain warm starts across sibling candidates.
 func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error) {
 	n := len(sys.Nodes)
 	if baseline == nil || baseline.warm == nil || len(baseline.Bounds) != n ||
@@ -123,12 +120,12 @@ func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline
 		return nil, err
 	}
 
-	s := h.getScratch(n)
+	s := h.getScratch(sys)
 	defer h.scratch.Put(s)
 	s.aff = resizeBools(s.aff, n)
 	aff := s.aff
 	var affected int
-	affected, s.stack = affectedClosure(sys, dirty, aff, s.stack)
+	affected, s.stack = affectedClosure(&s.kern, dirty, aff, s.stack)
 	if affected == n {
 		return h.Analyze(sys, exec)
 	}
@@ -159,6 +156,14 @@ func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline
 		return h.Analyze(sys, exec)
 	}
 
+	// Snapshot the post-B state: clean entries were pinned from the
+	// baseline's warm state and affected entries just converged, so the
+	// combined vectors equal what a cold run on this exec records — the
+	// returned Result is a full-fledged baseline for further warm starts.
+	nextWarm := newWarmState(n)
+	copy(nextWarm.maxFinishB, maxFinish)
+	copy(nextWarm.activationB, activation)
+
 	// ---- Phase C: best-case improvement over the closure ----------------
 	// Clean nodes take their converged post-C state from the baseline
 	// (final Min* bounds and minActC) before any affected equation reads
@@ -170,9 +175,10 @@ func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline
 			res.Bounds[i].MinFinish = baseline.Bounds[i].MinFinish
 		}
 	}
-	if _, capped := h.improveBestCase(sys, exec, res, minAct, activation, aff); capped {
+	if _, capped := h.improveBestCase(sys, exec, res, minAct, activation, s, aff); capped {
 		return h.Analyze(sys, exec)
 	}
+	copy(nextWarm.minActC, minAct)
 
 	// ---- Phase D: worst-case re-run with tightened exclusions -----------
 	// The cold pipeline runs D only when C improved a bound; running it
@@ -191,6 +197,7 @@ func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline
 		return h.Analyze(sys, exec)
 	}
 
+	res.warm = nextWarm
 	res.Schedulable = true
 	for i := range maxFinish {
 		res.Bounds[i].MaxFinish = maxFinish[i]

@@ -167,9 +167,11 @@ func TestAnalyzeFromFallbacks(t *testing.T) {
 	}
 }
 
-// TestAnalyzeFromResultCarriesNoWarmState: scenario results never serve
-// as baselines, so the warm snapshots must not be recorded on them.
-func TestAnalyzeFromResultCarriesNoWarmState(t *testing.T) {
+// TestAnalyzeFromResultWarmStateMatchesCold: warm-started results serve
+// as baselines for further warm starts (the structural candidate cache
+// chains them), so AnalyzeFrom must record the same per-phase snapshots
+// a cold run on the same exec vector records.
+func TestAnalyzeFromResultWarmStateMatchesCold(t *testing.T) {
 	sys := twoProcSystem(t, nil)
 	h := &Holistic{}
 	nominal := NominalExec(sys)
@@ -186,8 +188,33 @@ func TestAnalyzeFromResultCarriesNoWarmState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.warm != nil {
-		t.Fatal("AnalyzeFrom result must not carry warm state")
+	cold, err := h.Analyze(sys, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.warm == nil {
+		t.Fatal("AnalyzeFrom result must carry warm state")
+	}
+	if !reflect.DeepEqual(got.warm, cold.warm) {
+		t.Fatalf("warm state differs from cold run:\n got %+v\nwant %+v", got.warm, cold.warm)
+	}
+	// And the chained warm start must still be exact: use the
+	// warm-started result as the baseline of a second perturbation.
+	exec2 := make([]ExecBounds, len(exec))
+	copy(exec2, exec)
+	exec2[1].W += 2
+	dirty2 := make([]bool, len(exec2))
+	dirty2[1] = true
+	chained, err := h.AnalyzeFrom(sys, exec2, got, dirty2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := h.Analyze(sys, exec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(chained.Bounds, cold2.Bounds) || chained.Schedulable != cold2.Schedulable {
+		t.Fatal("chained warm start diverged from cold analysis")
 	}
 }
 
@@ -201,7 +228,9 @@ func TestAffectedClosure(t *testing.T) {
 	dirty := make([]bool, n)
 	dirty[a] = true
 	aff := make([]bool, n)
-	count, _ := affectedClosure(sys, dirty, aff, nil)
+	var kern holisticKernel
+	kern.build(sys)
+	count, _ := affectedClosure(&kern, dirty, aff, nil)
 	if !aff[a] {
 		t.Fatal("dirty node not in its own closure")
 	}
@@ -247,7 +276,9 @@ func TestAffectedClosureNonPreemptive(t *testing.T) {
 	dirty := make([]bool, n)
 	dirty[a] = true
 	aff := make([]bool, n)
-	affectedClosure(sys, dirty, aff, nil)
+	var kern holisticKernel
+	kern.build(sys)
+	affectedClosure(&kern, dirty, aff, nil)
 	for _, pid := range sys.ProcNodes[sys.Nodes[a].Proc] {
 		if !aff[pid] {
 			t.Fatalf("non-preemptive peer %d missing from closure", pid)

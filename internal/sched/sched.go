@@ -49,9 +49,10 @@ type Result struct {
 	Iterations int
 
 	// warm holds Holistic's per-phase fixed-point snapshots, recorded so
-	// AnalyzeFrom can seed a scenario run from this result. Engine
-	// internal; nil on results of other backends, on divergent runs and
-	// on warm-started results (which never serve as baselines).
+	// AnalyzeFrom can seed a later run from this result. Both cold and
+	// warm-started Holistic runs record it, so warm starts chain
+	// (candidate-to-candidate, then scenario-by-scenario). Engine
+	// internal; nil on results of other backends and on divergent runs.
 	warm *warmState
 }
 
