@@ -8,6 +8,7 @@ package mcmap_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"mcmap"
@@ -349,6 +350,66 @@ func BenchmarkDSEMemoization(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(analyses), "analyses/run")
+		})
+	}
+}
+
+// BenchmarkIslandDSE measures the island-model GA at equal total work:
+// at K islands each island runs totalGens/K generations, so every
+// variant performs the same number of generation steps overall. On a
+// multi-core host the islands=2/4 variants overlap those steps on the
+// shared worker pool; on one core they quantify the coordination
+// overhead of the island machinery instead.
+func BenchmarkIslandDSE(b *testing.B) {
+	bench := benchmarks.DTMed()
+	p, err := dse.NewProblem(bench.Arch, bench.Apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const totalGens = 12
+	// Untimed steady-state warmup, as in BenchmarkDSEMemoization.
+	if _, err := dse.Optimize(p, dse.Options{PopSize: 24, Generations: totalGens, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("islands=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dse.Optimize(p, dse.Options{
+					PopSize: 24, Generations: totalGens / k, Seed: 1,
+					Islands: k, MigrationInterval: 4,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSPEA2Select measures the selection kernel alone — strength/
+// raw-fitness, k-NN density, and archive truncation — on synthetic
+// objective clouds at and above the kernel's parallel threshold. The
+// archive is half the union so truncation always runs.
+func BenchmarkSPEA2Select(b *testing.B) {
+	for _, pop := range []int{64, 256} {
+		rng := rand.New(rand.NewSource(42))
+		union := make([]*dse.Individual, pop)
+		for i := range union {
+			union[i] = &dse.Individual{
+				Objectives: dse.Objectives{1 + 4*rng.Float64(), -float64(rng.Intn(40))},
+			}
+			if i >= 8 && rng.Float64() < 0.2 {
+				// Duplicated points exercise the tie-breaking path.
+				union[i].Objectives = union[rng.Intn(i)].Objectives
+			}
+		}
+		sel := dse.SPEA2{}
+		b.Run(fmt.Sprintf("pop=%d", pop), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := sel.Select(union, pop/2)
+				if len(out) != pop/2 {
+					b.Fatalf("archive size %d, want %d", len(out), pop/2)
+				}
+			}
 		})
 	}
 }

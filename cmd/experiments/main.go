@@ -33,6 +33,8 @@ func main() {
 	quick := flag.Bool("quick", false, "small budgets for a fast smoke run")
 	seed := flag.Int64("seed", 1, "seed for all stochastic components")
 	workers := flag.Int("workers", 0, "worker budget shared by GA fitness evaluation and scenario analysis (0 = GOMAXPROCS)")
+	islands := flag.Int("islands", 1, "concurrent GA islands per optimization run (per-island seeds derive from -seed)")
+	migrationInterval := flag.Int("migration-interval", 10, "generations between Pareto-elite ring migrations (multi-island runs)")
 	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -50,6 +52,8 @@ func main() {
 	}
 	opts := gaOptions(*quick, *seed)
 	opts.Workers = *workers
+	opts.Islands = *islands
+	opts.MigrationInterval = *migrationInterval
 	opts.PruneDominated = *prune
 	mcRuns := 10000
 	if *quick {
@@ -73,7 +77,7 @@ func main() {
 		"dropgain":   func() error { return dropgain(opts) },
 		"ratio":      func() error { return ratio(opts) },
 		"pareto":     func() error { return pareto(opts) },
-		"ablation":   func() error { return ablation(*quick, *seed, *workers) },
+		"ablation":   func() error { return ablation(*quick, *seed, *workers, *islands, *migrationInterval) },
 		"related":    related,
 	}
 	if cmd == "all" {
@@ -93,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-workers N] [-cpuprofile F] [-memprofile F] <subcommand>
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-workers N] [-islands K] [-migration-interval M] [-cpuprofile F] [-memprofile F] <subcommand>
 
 subcommands:
   motivation   Figure 1 motivational example
@@ -136,26 +140,18 @@ func table2(runs int, seed int64) error {
 }
 
 func dropgain(opts dse.Options) error {
-	var rows []*experiments.DropGainResult
-	for _, name := range []string{"dt-med", "dt-large", "cruise"} {
-		r, err := experiments.DropGain(name, opts)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, r)
+	rows, err := experiments.DropGains([]string{"dt-med", "dt-large", "cruise"}, opts)
+	if err != nil {
+		return err
 	}
 	fmt.Println(experiments.RenderDropGains(rows))
 	return nil
 }
 
 func ratio(opts dse.Options) error {
-	var rows []*experiments.RescueResult
-	for _, name := range benchmarks.Names() {
-		r, err := experiments.RescueRatio(name, opts)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, r)
+	rows, err := experiments.RescueRatios(benchmarks.Names(), opts)
+	if err != nil {
+		return err
 	}
 	fmt.Println(experiments.RenderRescue(rows))
 	return nil
@@ -170,10 +166,12 @@ func pareto(opts dse.Options) error {
 	return nil
 }
 
-func ablation(quick bool, seed int64, workers int) error {
-	opts := dse.Options{PopSize: 48, Generations: 60, Seed: seed, Workers: workers}
+func ablation(quick bool, seed int64, workers, islands, migrationInterval int) error {
+	opts := dse.Options{PopSize: 48, Generations: 60, Seed: seed, Workers: workers,
+		Islands: islands, MigrationInterval: migrationInterval}
 	if quick {
-		opts = dse.Options{PopSize: 24, Generations: 15, Seed: seed, Workers: workers}
+		opts = dse.Options{PopSize: 24, Generations: 15, Seed: seed, Workers: workers,
+			Islands: islands, MigrationInterval: migrationInterval}
 	}
 	r, err := experiments.Ablations(opts)
 	if err != nil {

@@ -22,6 +22,8 @@ func main() {
 	gens := flag.Int("gens", 300, "GA generations")
 	seed := flag.Int64("seed", 1, "GA seed")
 	workers := flag.Int("workers", 0, "worker budget shared by GA fitness evaluation and scenario analysis (0 = GOMAXPROCS)")
+	islands := flag.Int("islands", 1, "concurrent GA islands sharing the worker budget and caches (1 = the classic single trajectory; per-island seeds derive from -seed)")
+	migrationInterval := flag.Int("migration-interval", 10, "generations between Pareto-elite ring migrations (multi-island runs)")
 	noDrop := flag.Bool("nodrop", false, "disable task dropping (T_d always empty)")
 	track := flag.Bool("track", false, "track the dropping-rescue ratio (doubles analysis cost)")
 	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
@@ -63,6 +65,7 @@ func main() {
 	}
 	res, err := mcmap.Optimize(p, mcmap.DSEOptions{
 		PopSize: *pop, Generations: *gens, Seed: *seed, Workers: *workers,
+		Islands: *islands, MigrationInterval: *migrationInterval,
 		DisableDropping: *noDrop, TrackDroppingGain: *track, PruneDominated: *prune,
 	})
 	if err != nil {
@@ -75,6 +78,18 @@ func main() {
 	fmt.Printf("fitness cache: %d hits, %d misses, %d generations bypassed; structural cache: %d hits, %d misses, %d warm-started passes\n",
 		res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.CacheBypassed,
 		res.Stats.StructHits, res.Stats.StructMisses, res.Stats.WarmStartJobs)
+	if len(res.Stats.IslandStats) > 0 {
+		fmt.Printf("islands: %d, %d migrants exchanged\n", len(res.Stats.IslandStats), res.Stats.Migrations)
+		for _, st := range res.Stats.IslandStats {
+			best := "no feasible design"
+			if st.BestPower >= 0 {
+				best = fmt.Sprintf("best %.3f W", st.BestPower)
+			}
+			fmt.Printf("  island %d: %d evaluated (%d feasible), cache %d/%d hit, migrants %d in / %d out, %s\n",
+				st.Island, st.Evaluated, st.Feasible, st.CacheHits, st.CacheHits+st.CacheMisses,
+				st.MigrantsIn, st.MigrantsOut, best)
+		}
+	}
 	if *track {
 		fmt.Printf("rescued by dropping: %.2f%%; re-execution share: %.2f%%\n",
 			100*res.Stats.RescueRatio(), 100*res.Stats.ReExecutionShare())

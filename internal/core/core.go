@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -106,6 +107,13 @@ type Config struct {
 	// nesting W-way fitness evaluation over W-way scenario fan-out
 	// cannot oversubscribe to W² goroutines.
 	Pool *workpool.Pool
+	// ProfCtx, when non-nil, carries pprof labels of the enclosing
+	// computation (e.g. the DSE's island index); scenario-analysis helper
+	// goroutines adopt them stacked with a phase=analyze label, so
+	// -cpuprofile output attributes analysis time across the outer
+	// concurrency layers. Purely observational — it never affects
+	// results.
+	ProfCtx context.Context
 	// Structural warm-starts the fault-free and critical-reference
 	// passes from a previously analyzed candidate with the same compiled
 	// structure (same job set, hardening decisions and drop set) but a

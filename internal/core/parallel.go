@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -107,7 +109,13 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 	// The calling goroutine always participates: under a shared Pool it
 	// already owns its budget slot, so extra helpers are spawned only
 	// while spare budget exists (TryAcquire, never a blocking Acquire —
-	// see workpool's nesting protocol).
+	// see workpool's nesting protocol). Helpers run under the caller's
+	// pprof labels (Config.ProfCtx) plus phase=analyze, so profiles
+	// attribute scenario work to the right island and phase.
+	profCtx := cfg.ProfCtx
+	if profCtx == nil {
+		profCtx = context.Background()
+	}
 	var wg sync.WaitGroup
 	for k := 0; k < workers-1; k++ {
 		if cfg.Pool != nil && !cfg.Pool.TryAcquire() {
@@ -119,7 +127,9 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 			if cfg.Pool != nil {
 				defer cfg.Pool.Release()
 			}
-			work()
+			pprof.Do(profCtx, pprof.Labels("phase", "analyze"), func(context.Context) {
+				work()
+			})
 		}()
 	}
 	work()

@@ -2,21 +2,84 @@ package dse
 
 import (
 	"container/list"
+	"sync"
 
 	"mcmap/internal/model"
 )
 
-// fitnessCache is a bounded LRU over evaluated genomes, keyed by the
+// fitnessStore is the bounded LRU over evaluated genomes, keyed by the
 // compact Genome.Key fingerprint (allocation bits + keep bits + gene
 // section). Crossover and mutation reproduce byte-identical genomes
 // constantly — especially late in a run, when the SPEA2 archive has
 // converged — and a hit skips the whole Decode→Apply→Compile→Analyze
 // pipeline.
 //
-// It is NOT goroutine-safe: Optimize touches it only from the sequential
-// lookup and fill phases of evaluateAll, which also keeps the LRU update
-// order (and therefore the hit/miss trajectory) deterministic for a
-// given seed.
+// The store is goroutine-safe: one store is shared by every island of a
+// run, so a genome evaluated on island 2 is a cache hit when island 5
+// reproduces it. Each island still touches the store only from the
+// sequential lookup and fill phases of its own evaluateAll, so for a
+// single-island run the LRU update order (and therefore the hit/miss
+// trajectory) stays deterministic for a given seed; with several islands
+// the hit/miss *counters* depend on cross-island timing, but hits replay
+// byte-identical evaluations, so the optimization trajectory never does.
+type fitnessStore struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	ind *Individual
+}
+
+func newFitnessStore(capacity int) *fitnessStore {
+	return &fitnessStore{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached evaluation for key, refreshing its recency.
+func (s *fitnessStore) get(key string) (*Individual, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).ind, true
+}
+
+// put inserts (or refreshes) an evaluation, evicting the least recently
+// used entry past capacity.
+func (s *fitnessStore) put(key string, ind *Individual) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).ind = ind
+		return
+	}
+	s.byKey[key] = s.ll.PushFront(&cacheEntry{key: key, ind: ind})
+	if s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (s *fitnessStore) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// fitnessCache is one island's view of the shared store plus that
+// island's private adaptive-bypass state.
 //
 // The cache is adaptive: workloads with high mutation rates or huge
 // genome spaces may never reproduce a genome, in which case every
@@ -25,12 +88,12 @@ import (
 // generations; when it stays under bypassThreshold the cache switches
 // itself off for bypassSpan generations (evaluateAll then skips lookups
 // AND fills entirely), after which one probe generation decides whether
-// the bypass re-arms. All decisions run in the sequential merge phase,
-// so the bypass trajectory is as deterministic as the hit trajectory.
+// the bypass re-arms. Bypass state is per island — each trajectory
+// decides from its own hit rates — and all decisions run in the island's
+// sequential merge phase, so for a single-island run the bypass
+// trajectory is as deterministic as the hit trajectory.
 type fitnessCache struct {
-	capacity int
-	ll       *list.List // front = most recently used
-	byKey    map[string]*list.Element
+	store *fitnessStore
 
 	// rates holds the hit rates of the most recent non-bypassed
 	// generations (at most bypassWindow); bypassLeft counts remaining
@@ -50,6 +113,20 @@ const (
 	// the cache probes again.
 	bypassSpan = 8
 )
+
+func newFitnessCache(capacity int) *fitnessCache {
+	return &fitnessCache{store: newFitnessStore(capacity)}
+}
+
+// islandView returns a fresh per-island view sharing the same store but
+// with independent bypass state.
+func (c *fitnessCache) islandView() *fitnessCache {
+	return &fitnessCache{store: c.store}
+}
+
+func (c *fitnessCache) get(key string) (*Individual, bool) { return c.store.get(key) }
+func (c *fitnessCache) put(key string, ind *Individual)    { c.store.put(key, ind) }
+func (c *fitnessCache) len() int                           { return c.store.size() }
 
 // bypassed reports whether the current generation should skip the cache.
 func (c *fitnessCache) bypassed() bool { return c.bypassLeft > 0 }
@@ -88,52 +165,13 @@ func (c *fitnessCache) note(hits, misses int) {
 	}
 }
 
-type cacheEntry struct {
-	key string
-	ind *Individual
-}
-
-func newFitnessCache(capacity int) *fitnessCache {
-	return &fitnessCache{
-		capacity: capacity,
-		ll:       list.New(),
-		byKey:    make(map[string]*list.Element, capacity),
-	}
-}
-
-// get returns the cached evaluation for key, refreshing its recency.
-func (c *fitnessCache) get(key string) (*Individual, bool) {
-	el, ok := c.byKey[key]
-	if !ok {
-		return nil, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).ind, true
-}
-
-// put inserts (or refreshes) an evaluation, evicting the least recently
-// used entry past capacity.
-func (c *fitnessCache) put(key string, ind *Individual) {
-	if el, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).ind = ind
-		return
-	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, ind: ind})
-	if c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-	}
-}
-
-func (c *fitnessCache) len() int { return c.ll.Len() }
-
 // cloneFor copies an evaluation and re-attributes it to genome g. Cached
 // individuals are never handed out directly: selectors mutate the
 // Fitness field in place, and an uncached run would have produced a
 // distinct Individual per duplicate genome, so trajectory equivalence
-// requires fresh objects on every hit.
+// requires fresh objects on every hit. Migration relies on the same
+// property: a migrant is a clone, so the sending island's archive keeps
+// its own Fitness values.
 func (ind *Individual) cloneFor(g *Genome) *Individual {
 	c := *ind
 	c.Genome = g

@@ -1,9 +1,10 @@
 package dse
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -83,6 +84,28 @@ type Options struct {
 	// so a 100-candidate generation can never oversubscribe to Workers²
 	// goroutines.
 	Workers int
+	// Islands runs that many SPEA-II populations concurrently on the
+	// shared worker budget (default 1). Each island evolves its own
+	// trajectory from an independent RNG stream derived from Seed (see
+	// islandSeeds: island 0 keeps Seed verbatim, so Islands=1 reproduces
+	// the single-trajectory engine byte-for-byte), all islands share the
+	// fitness and structural caches, and every MigrationInterval
+	// generations each island's Pareto elites migrate to its ring
+	// neighbour. The final Result merges all islands through one last
+	// environmental selection; History carries every island's GenStats
+	// (tagged with GenStat.Island) and Stats.IslandStats the per-island
+	// summaries.
+	Islands int
+	// MigrationInterval is the number of generations each island evolves
+	// between migration barriers (default 10). Irrelevant at Islands=1.
+	MigrationInterval int
+	// Pool optionally shares a caller-owned worker budget across several
+	// Optimize runs — the experiments grid runs its seed × strategy ×
+	// benchmark cells concurrently against one pool so the whole grid
+	// saturates the machine without oversubscribing it. When nil (the
+	// default), Optimize creates a private pool of Workers slots. Sharing
+	// a pool never changes any run's trajectory, only its scheduling.
+	Pool *workpool.Pool
 	// FitnessCacheSize bounds the LRU fitness-memoization cache in
 	// genomes. Zero selects the default (4096); negative disables
 	// memoization. Duplicate genomes produced by crossover/mutation and
@@ -146,6 +169,12 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Islands <= 0 {
+		o.Islands = 1
+	}
+	if o.MigrationInterval <= 0 {
+		o.MigrationInterval = 10
+	}
 	if o.FitnessCacheSize == 0 {
 		o.FitnessCacheSize = 4096
 	}
@@ -157,7 +186,10 @@ func (o Options) withDefaults() Options {
 
 // GenStat is one generation's progress record.
 type GenStat struct {
-	Gen         int
+	Gen int
+	// Island is the index of the island that produced this generation
+	// (always 0 in single-island runs).
+	Island      int
 	BestPower   float64
 	Feasible    int
 	ArchiveSize int
@@ -173,6 +205,10 @@ type GenStat struct {
 	// structural sibling to warm-start from.
 	StructHits   int
 	StructMisses int
+	// MigrantsIn counts elite individuals merged into the island's archive
+	// by the ring migration that ran right after this generation (zero in
+	// single-island runs and between migration barriers).
+	MigrantsIn int
 }
 
 // Stats aggregates exploration statistics over every evaluated candidate
@@ -216,6 +252,35 @@ type Stats struct {
 	ScenariosDeduped     int
 	ScenariosPruned      int
 	ScenariosIncremental int
+	// Migrations counts the elite individuals exchanged over all ring-
+	// migration rounds of a multi-island run (zero at Islands=1).
+	Migrations int
+	// IslandStats holds one per-island summary for multi-island runs, in
+	// island order; nil at Islands=1.
+	IslandStats []IslandStat
+}
+
+// merge folds another Stats (one island's tallies) into s. Migrations
+// and IslandStats are run-level aggregates maintained by the coordinator
+// and are not merged.
+func (s *Stats) merge(o *Stats) {
+	s.Evaluated += o.Evaluated
+	s.Feasible += o.Feasible
+	s.RescuedByDropping += o.RescuedByDropping
+	s.InfeasibleNoDrop += o.InfeasibleNoDrop
+	for t, c := range o.TechniqueCounts {
+		s.TechniqueCounts[t] += c
+	}
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheBypassed += o.CacheBypassed
+	s.StructHits += o.StructHits
+	s.StructMisses += o.StructMisses
+	s.WarmStartJobs += o.WarmStartJobs
+	s.ScenariosAnalyzed += o.ScenariosAnalyzed
+	s.ScenariosDeduped += o.ScenariosDeduped
+	s.ScenariosPruned += o.ScenariosPruned
+	s.ScenariosIncremental += o.ScenariosIncremental
 }
 
 // RescueRatio is the Section 5.2 headline number: the fraction of
@@ -254,18 +319,25 @@ type Result struct {
 	History []GenStat
 }
 
-// Optimize runs the GA.
+// Optimize runs the GA: Options.Islands concurrent SPEA-II trajectories
+// over one shared worker budget, with ring migration every
+// MigrationInterval generations and a final cross-island merge. At
+// Islands=1 (the default) the run is byte-identical to the historical
+// single-trajectory engine for any given seed.
 func Optimize(p *Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &Result{Stats: Stats{TechniqueCounts: map[hardening.Technique]int{}}}
 
 	// One worker budget for the whole run: candidate evaluations acquire
-	// from the pool, and the scenario fan-out nested inside core.Analyze
-	// borrows spare tokens from the same pool (see workpool).
+	// from the pool, the scenario fan-out nested inside core.Analyze and
+	// the SPEA-II selection kernels borrow spare tokens from the same
+	// pool (see workpool), and every island draws from it too.
 	ev := evaluator{
 		cfg:  p.Analysis,
-		pool: workpool.New(opts.Workers),
+		pool: opts.Pool,
+	}
+	if ev.pool == nil {
+		ev.pool = workpool.New(opts.Workers)
 	}
 	ev.cfg.Pool = ev.pool
 	if opts.PruneDominated {
@@ -277,55 +349,28 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	if opts.StructuralCacheSize >= 0 {
 		ev.cfg.Structural = core.NewStructuralCache(opts.StructuralCacheSize)
 	}
-
-	prepare := func(g *Genome) *Genome {
-		if opts.DisableDropping {
-			for i := range g.Keep {
-				g.Keep[i] = true
-			}
-		}
-		if !opts.DisableRepair {
-			p.Repair(g, rng)
-		}
-		return g
+	if pw, ok := opts.Selector.(poolWirer); ok {
+		opts.Selector = pw.withPool(ev.pool)
 	}
 
-	// Initial population: heuristic seeds plus random genomes.
-	genomes := make([]*Genome, 0, opts.PopSize)
-	if !opts.NoSeeds {
-		for _, g := range p.SeedGenomes() {
-			if len(genomes) < opts.PopSize {
-				genomes = append(genomes, prepare(g))
-			}
+	var archive []*Individual
+	if opts.Islands == 1 {
+		isl := newIsland(0, p, opts, opts.Seed, ev)
+		if err := isl.init(); err != nil {
+			return nil, err
 		}
-	}
-	for len(genomes) < opts.PopSize {
-		genomes = append(genomes, prepare(p.RandomGenome(rng)))
-	}
-	pop, gc, err := p.evaluateAll(genomes, opts, ev, &res.Stats)
-	if err != nil {
-		return nil, err
-	}
-	archive := opts.Selector.Select(pop, opts.ArchiveSize)
-	res.History = append(res.History, snapshot(0, archive, gc))
-
-	for gen := 1; gen <= opts.Generations; gen++ {
-		parents := opts.Selector.Parents(archive, opts.PopSize, rng)
-		offspring := make([]*Genome, 0, opts.PopSize)
-		for i := 0; i < opts.PopSize; i++ {
-			a := parents[rng.Intn(len(parents))]
-			b := parents[rng.Intn(len(parents))]
-			child := p.Crossover(a.Genome, b.Genome, rng)
-			p.Mutate(child, opts.MutationRate, rng)
-			offspring = append(offspring, prepare(child))
+		if err := isl.advance(1, opts.Generations); err != nil {
+			return nil, err
 		}
-		evaluated, gc, err := p.evaluateAll(offspring, opts, ev, &res.Stats)
+		res.Stats.merge(&isl.stats)
+		res.History = isl.history
+		archive = isl.archive
+	} else {
+		var err error
+		archive, err = runIslands(p, opts, ev, res)
 		if err != nil {
 			return nil, err
 		}
-		union := append(append([]*Individual(nil), archive...), evaluated...)
-		archive = opts.Selector.Select(union, opts.ArchiveSize)
-		res.History = append(res.History, snapshot(gen, archive, gc))
 	}
 
 	// Harvest.
@@ -415,16 +460,23 @@ type genCacheStats struct {
 	warmJobs                 int
 }
 
-// evaluateAll scores a batch of genomes and folds statistics. It runs in
-// three phases so the result — including the cache hit/miss trajectory —
-// is deterministic for a given seed:
+// evaluateAll scores a batch of genomes and folds statistics into the
+// island's tally. It runs in three phases so the result — including the
+// cache hit/miss trajectory — is deterministic for a given seed:
 //
 //  1. sequential cache lookup in batch order (duplicates within the
 //     batch collapse onto one evaluation);
 //  2. parallel evaluation of the misses under the shared worker pool;
 //  3. sequential merge in batch order: hits are replayed as fresh
 //     Individuals, misses fill the cache.
-func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, stats *Stats) ([]*Individual, genCacheStats, error) {
+//
+// With several islands the shared fitness store may be filled by sibling
+// islands between phases 1 and 3; that changes which genomes are hits,
+// never what any hit evaluates to (evaluation is pure per genome), so
+// island trajectories remain deterministic while the cache counters need
+// not be.
+func (isl *island) evaluateAll(genomes []*Genome) ([]*Individual, genCacheStats, error) {
+	p, opts, ev, stats := isl.p, isl.opts, isl.ev, &isl.stats
 	out := make([]*Individual, len(genomes))
 	var gc genCacheStats
 
@@ -492,9 +544,11 @@ func (p *Problem) evaluateAll(genomes []*Genome, opts Options, ev evaluator, sta
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ev.pool.Acquire()
-			defer ev.pool.Release()
-			out[i], errs[i] = p.evaluate(genomes[i], opts.TrackDroppingGain, ev.cfg)
+			pprof.Do(isl.ctx, pprof.Labels("phase", "evaluate"), func(context.Context) {
+				ev.pool.Acquire()
+				defer ev.pool.Release()
+				out[i], errs[i] = p.evaluate(genomes[i], opts.TrackDroppingGain, ev.cfg)
+			})
 		}(i)
 	}
 	wg.Wait()

@@ -4,6 +4,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
+
+	"mcmap/internal/workpool"
 )
 
 // Objectives is a point in objective space; all components are minimized.
@@ -46,29 +49,81 @@ type Selector interface {
 // (Zitzler, Laumanns, Thiele 2001), the population selector the paper
 // uses: strength-based raw fitness, k-th nearest-neighbour density and
 // iterative archive truncation.
-type SPEA2 struct{}
+//
+// The zero value runs every kernel serially. Optimize wires the run's
+// shared worker pool in (see poolWirer), after which the O(n²) strength,
+// raw-fitness and distance-matrix kernels fan their row loops out over
+// spare pool workers once the union passes spea2ParallelMin. Every row
+// is an independent function of the input objectives, so the selected
+// archive is identical for any worker count.
+type SPEA2 struct {
+	pool *workpool.Pool
+}
+
+// poolWirer is implemented by selectors whose kernels can use the run's
+// shared worker pool; Optimize wires the pool in through it.
+type poolWirer interface {
+	withPool(p *workpool.Pool) Selector
+}
+
+func (s SPEA2) withPool(p *workpool.Pool) Selector { s.pool = p; return s }
+
+// spea2ParallelMin is the union size from which the O(n²) selection
+// kernels fan out over the pool; below it, helper-goroutine startup
+// outweighs the row work.
+const spea2ParallelMin = 64
+
+// forRows runs fn(i, scratch) for every row i in [0, n), fanning out
+// over spare pool workers above the parallel threshold. scratch is a
+// worker-owned []float64 of length n, reused across that worker's rows.
+// Rows must be mutually independent.
+func (s SPEA2) forRows(n int, fn func(i int, scratch []float64)) {
+	if s.pool == nil || n < spea2ParallelMin {
+		scratch := make([]float64, n)
+		for i := 0; i < n; i++ {
+			fn(i, scratch)
+		}
+		return
+	}
+	var next atomic.Int64
+	s.pool.FanOut(n, func() {
+		scratch := make([]float64, n)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i, scratch)
+		}
+	})
+}
 
 // Name implements Selector.
 func (SPEA2) Name() string { return "spea2" }
 
 // fitness assigns the SPEA2 fitness F = R + D to every individual in the
 // union (lower is better; F < 1 means non-dominated).
-func (SPEA2) fitness(union []*Individual) {
+func (s SPEA2) fitness(union []*Individual) {
 	n := len(union)
 	strength := make([]int, n)
-	for i := 0; i < n; i++ {
+	s.forRows(n, func(i int, _ []float64) {
+		c := 0
 		for j := 0; j < n; j++ {
 			if i != j && union[i].Objectives.Dominates(union[j].Objectives) {
-				strength[i]++
+				c++
 			}
 		}
-	}
+		strength[i] = c
+	})
 	k := int(math.Sqrt(float64(n)))
 	if k < 1 {
 		k = 1
 	}
-	dists := make([]float64, n)
-	for i := 0; i < n; i++ {
+	kk := k
+	if kk >= n {
+		kk = n - 1
+	}
+	s.forRows(n, func(i int, dists []float64) {
 		raw := 0
 		for j := 0; j < n; j++ {
 			if i != j && union[j].Objectives.Dominates(union[i].Objectives) {
@@ -79,13 +134,9 @@ func (SPEA2) fitness(union []*Individual) {
 			dists[j] = union[i].Objectives.distance(union[j].Objectives)
 		}
 		sort.Float64s(dists)
-		kk := k
-		if kk >= n {
-			kk = n - 1
-		}
 		sigma := dists[kk]
 		union[i].Fitness = float64(raw) + 1.0/(sigma+2.0)
-	}
+	})
 }
 
 // Select implements Selector.
@@ -101,7 +152,7 @@ func (s SPEA2) Select(union []*Individual, size int) []*Individual {
 		}
 	}
 	if len(next) > size {
-		next = truncate(next, size)
+		next = s.truncate(next, size)
 	} else if len(next) < size {
 		// Fill with the best dominated individuals.
 		rest := make([]*Individual, 0, len(union))
@@ -124,29 +175,66 @@ func (s SPEA2) Select(union []*Individual, size int) []*Individual {
 // truncate iteratively removes the individual with the smallest
 // nearest-neighbour distance (ties broken by the next distances), the
 // SPEA2 archive-truncation procedure.
-func truncate(set []*Individual, size int) []*Individual {
-	for len(set) > size {
-		n := len(set)
-		// Per-individual sorted distance vectors.
-		dist := make([][]float64, n)
-		for i := 0; i < n; i++ {
-			dist[i] = make([]float64, 0, n-1)
-			for j := 0; j < n; j++ {
-				if i != j {
-					dist[i] = append(dist[i], set[i].Objectives.distance(set[j].Objectives))
-				}
-			}
-			sort.Float64s(dist[i])
-		}
-		victim := 0
-		for i := 1; i < n; i++ {
-			if lexLess(dist[i], dist[victim]) {
-				victim = i
-			}
-		}
-		set = append(set[:victim], set[victim+1:]...)
+//
+// The textbook formulation — and this repo's historical implementation —
+// rebuilds and re-sorts every individual's distance vector after each
+// removal, O(r·n²·log n) for r removals. This version computes the n×n
+// distance matrix once (rows fanned out over the pool above the
+// threshold), keeps one sorted neighbour list per survivor, and after
+// each removal deletes the victim's distance from every surviving list
+// by binary search. The selected victims are identical: lexLess compares
+// only the sorted multiset of distance values, each surviving list holds
+// exactly the distances to the current survivors, and those values are
+// the very same floats a recompute would produce (each pair's distance
+// is computed once and reused). Equal values may occupy swapped slots
+// after a binary-search deletion, but a sorted multiset has one
+// representation, so no comparison can tell. Pinned against a recompute
+// reference in TestTruncateMatchesRecompute.
+func (s SPEA2) truncate(set []*Individual, size int) []*Individual {
+	n := len(set)
+	if n <= size {
+		return set
 	}
-	return set
+	// One-time distance matrix and per-row sorted neighbour lists.
+	dist := make([][]float64, n)
+	sorted := make([][]float64, n)
+	s.forRows(n, func(i int, _ []float64) {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = set[i].Objectives.distance(set[j].Objectives)
+		}
+		dist[i] = row
+		lst := make([]float64, 0, n-1)
+		lst = append(lst, row[:i]...)
+		lst = append(lst, row[i+1:]...)
+		sort.Float64s(lst)
+		sorted[i] = lst
+	})
+
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	for len(alive) > size {
+		victim := 0
+		for a := 1; a < len(alive); a++ {
+			if lexLess(sorted[alive[a]], sorted[alive[victim]]) {
+				victim = a
+			}
+		}
+		v := alive[victim]
+		alive = append(alive[:victim], alive[victim+1:]...)
+		for _, i := range alive {
+			lst := sorted[i]
+			at := sort.SearchFloat64s(lst, dist[i][v])
+			sorted[i] = append(lst[:at], lst[at+1:]...)
+		}
+	}
+	out := make([]*Individual, 0, size)
+	for _, i := range alive {
+		out = append(out, set[i])
+	}
+	return out
 }
 
 // lexLess compares distance vectors lexicographically (smaller = more

@@ -79,43 +79,53 @@ func Ablations(opts dse.Options) (*AblationResult, error) {
 		out.BackendRows = append(out.BackendRows, row)
 	}
 
-	// --- Selectors on DT-med ----------------------------------------------
+	// --- Selectors and repair on DT-med ------------------------------------
+	// The four GA runs (two selectors, two repair modes) are independent;
+	// they run concurrently on one shared worker pool, with rows filled
+	// into their historical slots.
 	dt := benchmarks.DTMed()
 	p, err := dse.NewProblem(dt.Arch, dt.Apps)
 	if err != nil {
 		return nil, err
 	}
-	for _, sel := range []dse.Selector{dse.SPEA2{}, dse.Elitist{}} {
-		o := opts
-		o.Selector = sel
-		res, err := dse.Optimize(p, o)
-		if err != nil {
-			return nil, err
+	opts = sharedPool(opts)
+	selectors := []dse.Selector{dse.SPEA2{}, dse.Elitist{}}
+	out.SelectorRows = make([]SelectorRow, len(selectors))
+	out.RepairRows = make([]RepairRow, 2)
+	if err := runCells(len(selectors)+len(out.RepairRows), func(i int) error {
+		if i < len(selectors) {
+			o := opts
+			o.Selector = selectors[i]
+			res, err := dse.Optimize(p, o)
+			if err != nil {
+				return err
+			}
+			row := SelectorRow{Selector: selectors[i].Name(), FrontSize: len(res.Front), BestPower: -1}
+			if res.Best != nil {
+				row.BestPower = res.Best.Power
+			}
+			row.Hypervolume = dse.FrontHypervolume(res, 100)
+			out.SelectorRows[i] = row
+			return nil
 		}
-		row := SelectorRow{Selector: sel.Name(), FrontSize: len(res.Front), BestPower: -1}
-		if res.Best != nil {
-			row.BestPower = res.Best.Power
-		}
-		row.Hypervolume = dse.FrontHypervolume(res, 100)
-		out.SelectorRows = append(out.SelectorRows, row)
-	}
-
-	// --- Repair on DT-med --------------------------------------------------
-	for _, disable := range []bool{false, true} {
+		disable := i-len(selectors) == 1
 		o := opts
 		o.DisableRepair = disable
 		o.NoSeeds = disable
 		res, err := dse.Optimize(p, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mode := "randomized repair"
 		if disable {
 			mode = "penalty only"
 		}
-		out.RepairRows = append(out.RepairRows, RepairRow{
+		out.RepairRows[i-len(selectors)] = RepairRow{
 			Mode: mode, Evaluated: res.Stats.Evaluated, Feasible: res.Stats.Feasible,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// --- Priority policy vs dropping ---------------------------------------

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"mcmap/internal/benchmarks"
 	"mcmap/internal/core"
@@ -14,6 +15,7 @@ import (
 	"mcmap/internal/model"
 	"mcmap/internal/sim"
 	"mcmap/internal/texttable"
+	"mcmap/internal/workpool"
 )
 
 // ---------------------------------------------------------------------------
@@ -62,7 +64,11 @@ type Table2Result struct {
 	AnomalyObserved bool
 }
 
-// Table2 reproduces Table 2 on the Cruise benchmark.
+// Table2 reproduces Table 2 on the Cruise benchmark. The three mapping
+// strategies are estimated concurrently — each cell owns its compiled
+// system, and the Proposed analyses of all cells share one worker pool —
+// with results reduced in strategy order, so the grid is identical to
+// the sequential version's.
 func Table2(cfg Table2Config) (*Table2Result, error) {
 	cfg = cfg.withDefaults()
 	b := benchmarks.Cruise()
@@ -70,30 +76,46 @@ func Table2(cfg Table2Config) (*Table2Result, error) {
 	strategies := []benchmarks.MappingStrategy{
 		benchmarks.MapLoadBalance, benchmarks.MapClustered, benchmarks.MapSeededRandom,
 	}
-	for _, strat := range strategies {
+	propCfg := core.NewConfig()
+	propCfg.Pool = workpool.New(runtime.GOMAXPROCS(0))
+	type stratResult struct {
+		rows   []Table2Cell
+		perEst map[string][]model.Time
+	}
+	cells := make([]stratResult, len(strategies))
+	err := runCells(len(strategies), func(si int) error {
+		strat := strategies[si]
 		sys, dropped, err := b.CompiledSample(strat)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ests := []core.Estimator{
 			sim.Adhoc{},
 			sim.WCSim{Runs: cfg.WCSimRuns, Seed: cfg.Seed, Scale: sim.AutoFaultScale(sys) * cfg.FaultScaleMult},
-			core.Proposed{Config: core.NewConfig()},
+			core.Proposed{Config: propCfg},
 			core.Naive{},
 		}
-		perEst := map[string][]model.Time{}
+		cells[si].perEst = map[string][]model.Time{}
 		for _, est := range ests {
 			all, err := est.GraphWCRTs(sys, dropped)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", est.Name(), strat, err)
+				return fmt.Errorf("experiments: %s on %s: %w", est.Name(), strat, err)
 			}
 			wcrt := make([]model.Time, len(b.CriticalNames))
 			for i, name := range b.CriticalNames {
 				wcrt[i] = all[sys.GraphIndex(name)]
 			}
-			perEst[est.Name()] = wcrt
-			res.Rows = append(res.Rows, Table2Cell{Mapping: strat, Estimator: est.Name(), WCRT: wcrt})
+			cells[si].perEst[est.Name()] = wcrt
+			cells[si].rows = append(cells[si].rows, Table2Cell{Mapping: strat, Estimator: est.Name(), WCRT: wcrt})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si := range strategies {
+		res.Rows = append(res.Rows, cells[si].rows...)
+		perEst := cells[si].perEst
 		for i := range b.CriticalNames {
 			prop := perEst["Proposed"][i]
 			if perEst["WC-Sim"][i] > prop || perEst["Adhoc"][i] > prop || perEst["Naive"][i] < prop {
@@ -159,7 +181,10 @@ type DropGainResult struct {
 // DropGain runs the with/without-dropping optimization comparison. Each
 // mode is multi-started from three seeds and the best feasible design is
 // taken — single GA trajectories occasionally miss the minimum processor
-// allocation, which is the quantity the comparison measures.
+// allocation, which is the quantity the comparison measures. All six
+// (mode, seed) GA runs execute concurrently against one shared worker
+// pool; the per-mode minimum is reduced over indexed results, so the
+// outcome matches the historical sequential loops.
 func DropGain(benchName string, opts dse.Options) (*DropGainResult, error) {
 	b, err := benchmarks.ByName(benchName)
 	if err != nil {
@@ -169,36 +194,50 @@ func DropGain(benchName string, opts dse.Options) (*DropGainResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	best := func(disableDrop bool) (float64, bool, error) {
+	opts = sharedPool(opts)
+	type cell struct {
+		power float64
+		found bool
+	}
+	cells := make([]cell, 6)
+	err = runCells(len(cells), func(i int) error {
+		disableDrop := i >= 3
+		o := opts
+		o.Seed = opts.Seed + int64(i%3)
+		o.DisableDropping = disableDrop
+		if disableDrop {
+			o.TrackDroppingGain = false
+		}
+		res, err := dse.Optimize(p, o)
+		if err != nil {
+			return err
+		}
+		if res.Best != nil {
+			cells[i] = cell{power: res.Best.Power, found: true}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := func(disableDrop bool) (float64, bool) {
+		off := 0
+		if disableDrop {
+			off = 3
+		}
 		found := false
 		bestPower := 0.0
-		for s := int64(0); s < 3; s++ {
-			o := opts
-			o.Seed = opts.Seed + s
-			o.DisableDropping = disableDrop
-			if disableDrop {
-				o.TrackDroppingGain = false
-			}
-			res, err := dse.Optimize(p, o)
-			if err != nil {
-				return 0, false, err
-			}
-			if res.Best != nil && (!found || res.Best.Power < bestPower) {
+		for _, c := range cells[off : off+3] {
+			if c.found && (!found || c.power < bestPower) {
 				found = true
-				bestPower = res.Best.Power
+				bestPower = c.power
 			}
 		}
-		return bestPower, found, nil
+		return bestPower, found
 	}
 	res := &DropGainResult{Benchmark: benchName}
-	withPower, withOK, err := best(false)
-	if err != nil {
-		return nil, err
-	}
-	withoutPower, withoutOK, err := best(true)
-	if err != nil {
-		return nil, err
-	}
+	withPower, withOK := best(false)
+	withoutPower, withoutOK := best(true)
 	if withOK {
 		res.WithFeasible = true
 		res.WithPower = withPower
@@ -308,15 +347,26 @@ func Pareto(benchName string, opts dse.Options) (*ParetoResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var union []*dse.Individual
-	for s := int64(0); s < 3; s++ {
+	// The three multi-start trajectories run concurrently on one shared
+	// pool; fronts are unioned in seed order.
+	opts = sharedPool(opts)
+	fronts := make([][]*dse.Individual, 3)
+	err = runCells(len(fronts), func(s int) error {
 		o := opts
-		o.Seed = opts.Seed + s
+		o.Seed = opts.Seed + int64(s)
 		res, err := dse.Optimize(p, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		union = append(union, res.Front...)
+		fronts[s] = res.Front
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var union []*dse.Individual
+	for _, f := range fronts {
+		union = append(union, f...)
 	}
 	out := &ParetoResult{Benchmark: benchName, TotalService: p.TotalService()}
 	for _, ind := range union {

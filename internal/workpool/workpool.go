@@ -20,6 +20,8 @@
 // can complete its work inline.
 package workpool
 
+import "sync"
+
 // Pool is a counting semaphore bounding concurrently running workers.
 // The zero value is not usable; construct with New. All methods are safe
 // for concurrent use.
@@ -58,3 +60,31 @@ func (p *Pool) TryAcquire() bool {
 
 // Release returns a slot claimed by Acquire or a successful TryAcquire.
 func (p *Pool) Release() { <-p.sem }
+
+// FanOut runs work on the calling goroutine and, with inner-layer
+// semantics (TryAcquire, never a blocking Acquire), on up to max-1
+// helper goroutines claimed from the pool's spare budget. It returns
+// when every invocation has returned. work must be safe for concurrent
+// invocation — callers typically loop over a shared atomic index. A nil
+// pool (or max <= 1) degrades to one inline invocation, so callers need
+// no serial fallback of their own.
+func (p *Pool) FanOut(max int, work func()) {
+	if p == nil || max <= 1 {
+		work()
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < max-1; k++ {
+		if !p.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.Release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
