@@ -5,8 +5,9 @@ GO         ?= go
 BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache|BenchmarkIslandDSE|BenchmarkSPEA2Select
 BENCHCOUNT ?= 3
 BENCHOUT   ?= BENCH_core.json
+FUZZTIME   ?= 20s
 
-.PHONY: build test test-race bench benchguard clean
+.PHONY: build test test-race lint fuzz bench benchguard clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,23 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# lint is the static-analysis gate: gofmt, go vet, and the repo's own
+# invariant linter (cmd/mcmaplint: determinism, map-range ordering,
+# pool-bounded goroutine spawning, sync-type copies, cache-entry
+# immutability). CI additionally runs golangci-lint (.golangci.yml);
+# locally this target needs nothing beyond the Go toolchain.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/mcmaplint ./...
+
+# fuzz smoke-tests the spec input path and the static validator for
+# $(FUZZTIME) each (the same budget the CI job uses). Native Go
+# fuzzing: one target per invocation.
+fuzz:
+	$(GO) test ./internal/model -run '^$$' -fuzz FuzzReadSpec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/validate -run '^$$' -fuzz FuzzCheckSpec -fuzztime $(FUZZTIME)
 
 # bench runs the performance-critical micro-benchmarks and writes the
 # machine-readable results (a test2json stream, one JSON object per

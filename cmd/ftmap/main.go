@@ -18,6 +18,7 @@ import (
 func main() {
 	bench := flag.String("bench", "", "bundled benchmark name ("+strings.Join(mcmap.BenchmarkNames(), ", ")+")")
 	spec := flag.String("spec", "", "JSON problem spec (architecture + apps); alternative to -bench")
+	check := flag.Bool("check", false, "validate the instance and exit (non-zero when Error diagnostics are found); no optimization runs")
 	pop := flag.Int("pop", 100, "GA population size")
 	gens := flag.Int("gens", 300, "GA generations")
 	seed := flag.Int64("seed", 1, "GA seed")
@@ -41,6 +42,7 @@ func main() {
 
 	var arch *mcmap.Architecture
 	var apps *mcmap.AppSet
+	var mapping mcmap.Mapping
 	switch {
 	case *bench != "":
 		b, err := mcmap.BenchmarkByName(*bench)
@@ -49,14 +51,34 @@ func main() {
 		}
 		arch, apps = b.Arch, b.Apps
 	case *spec != "":
-		s, err := mcmap.LoadSpec(*spec)
+		// Lenient load: in -check mode the validator reports every
+		// structural problem itself instead of dying on the first.
+		s, err := mcmap.LoadSpecLenient(*spec)
 		if err != nil {
 			fatal(stopProf, err)
 		}
-		arch, apps = s.Architecture, s.Apps
+		arch, apps, mapping = s.Architecture, s.Apps, s.Mapping
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Static pre-flight: always run, so a doomed instance never reaches
+	// the GA. With -check, the diagnostics ARE the output.
+	res0 := mcmap.ValidateSystem(arch, apps, mapping, mcmap.DefaultHardeningLimits())
+	if len(res0.Diags) > 0 {
+		res0.Format(os.Stderr)
+	}
+	if *check {
+		stopProf()
+		if res0.HasErrors() {
+			os.Exit(1)
+		}
+		fmt.Println("spec validates clean")
+		return
+	}
+	if res0.HasErrors() {
+		fatal(stopProf, res0.Err())
 	}
 
 	p, err := mcmap.NewProblem(arch, apps)

@@ -31,6 +31,14 @@ func main() {
 	if s.Mapping == nil {
 		log.Fatal("gantt: spec has no mapping")
 	}
+	// Static pre-flight: refuse to simulate designs the validator can
+	// prove broken (Error diagnostics); warnings are advisory.
+	if res := mcmap.Validate(s); len(res.Diags) > 0 {
+		res.Format(os.Stderr)
+		if res.HasErrors() {
+			os.Exit(1)
+		}
+	}
 	sys, err := mcmap.Compile(s.Architecture, s.Apps, s.Mapping)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,76 @@
+// Command mcmaplint runs the repository's invariant linter suite (see
+// internal/lint): determinism, maprange, gospawn, synccopy and
+// cachewrite. It is wired into `make lint` and CI; run it over the
+// whole module with
+//
+//	go run ./cmd/mcmaplint ./...
+//
+// Findings print as file:line:col: rule: message and make the exit
+// status 1. Suppress an individual finding with a justified comment:
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcmap/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *rules != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "mcmaplint: unknown rule %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmaplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmaplint:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, analyzers) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "mcmaplint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 			log.Fatal(err)
 		}
 		spec := &mcmap.Spec{Architecture: b.Arch, Apps: b.Apps}
+		selfCheck(spec)
 		if *out == "" {
 			if err := spec.WriteJSON(os.Stdout); err != nil {
 				log.Fatal(err)
@@ -68,6 +69,7 @@ func main() {
 		Seed:             *seed,
 	})
 	spec := &mcmap.Spec{Architecture: b.Arch, Apps: b.Apps}
+	selfCheck(spec)
 	if *out == "" {
 		if err := spec.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -79,4 +81,17 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d processors, %d applications, %d tasks\n",
 		*out, len(b.Arch.Procs), len(b.Apps.Graphs), b.Apps.NumTasks())
+}
+
+// selfCheck routes every spec through the static validator before it is
+// written: a generator that emits instances its own tools reject is a
+// bug, so Error diagnostics abort with a non-zero exit.
+func selfCheck(spec *mcmap.Spec) {
+	res := mcmap.Validate(spec)
+	if len(res.Diags) > 0 {
+		res.Format(os.Stderr)
+	}
+	if res.HasErrors() {
+		log.Fatal("tgfgen: generated spec fails validation (bug in the generator parameters?)")
+	}
 }

@@ -33,6 +33,14 @@ func main() {
 	if s.Mapping == nil {
 		log.Fatal("wcrtcheck: spec has no mapping; produce one with ftmap -o")
 	}
+	// Static pre-flight: Error diagnostics mean the analyses' verdicts
+	// would be meaningless, so refuse to run; warnings are advisory.
+	if res := mcmap.Validate(s); len(res.Diags) > 0 {
+		res.Format(os.Stderr)
+		if res.HasErrors() {
+			os.Exit(1)
+		}
+	}
 	sys, err := mcmap.Compile(s.Architecture, s.Apps, s.Mapping)
 	if err != nil {
 		log.Fatal(err)

@@ -122,6 +122,7 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 			break
 		}
 		wg.Add(1)
+		//lint:allow gospawn helper spawned only after TryAcquire granted a pool slot; inline fallback otherwise
 		go func() {
 			defer wg.Done()
 			if cfg.Pool != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mcmap/internal/model"
 	"mcmap/internal/platform"
@@ -82,12 +83,8 @@ func Sensitivity(sys *platform.System, dropped DropSet, cfg Config) ([]TaskSlack
 			GrowthPct: 100 * float64(lo-cur) / float64(cur),
 		})
 	}
-	// Deterministic order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Task < out[j-1].Task; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// Deterministic order (the groups map iterates randomly).
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
 	return out, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"mcmap/internal/model"
 	"mcmap/internal/power"
 	"mcmap/internal/reliability"
+	"mcmap/internal/validate"
 	"mcmap/internal/workpool"
 )
 
@@ -325,6 +326,20 @@ type Result struct {
 // Islands=1 (the default) the run is byte-identical to the historical
 // single-trajectory engine for any given seed.
 func Optimize(p *Problem, opts Options) (*Result, error) {
+	// Static pre-flight over the DSE parameters: reject chromosome caps
+	// the encoding cannot express before evolving anything. Warnings
+	// (defaulted fields, contradictory measurement flags) are left to
+	// the caller's validation tooling — the engine only refuses what it
+	// cannot run.
+	if r := validate.CheckDSEParams(p.Arch, validate.DSEParams{
+		MaxK: p.MaxK, MaxReplicas: p.MaxReplicas,
+		PopSize: opts.PopSize, ArchiveSize: opts.ArchiveSize, Generations: opts.Generations,
+		MutationRate: opts.MutationRate, Workers: opts.Workers,
+		Islands: opts.Islands, MigrationInterval: opts.MigrationInterval,
+		TrackDroppingGain: opts.TrackDroppingGain, DisableDropping: opts.DisableDropping,
+	}); r.HasErrors() {
+		return nil, r.Err()
+	}
 	opts = opts.withDefaults()
 	res := &Result{Stats: Stats{TechniqueCounts: map[hardening.Technique]int{}}}
 
@@ -542,6 +557,7 @@ func (isl *island) evaluateAll(genomes []*Genome) ([]*Individual, genCacheStats,
 	var wg sync.WaitGroup
 	for _, i := range toEval {
 		wg.Add(1)
+		//lint:allow gospawn evaluation coordinator; first action is a blocking pool.Acquire, so concurrency stays pool-bounded
 		go func(i int) {
 			defer wg.Done()
 			pprof.Do(isl.ctx, pprof.Labels("phase", "evaluate"), func(context.Context) {

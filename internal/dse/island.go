@@ -242,6 +242,7 @@ func forEachIsland(islands []*island, fn func(*island) error) error {
 		var wg sync.WaitGroup
 		for _, isl := range islands {
 			wg.Add(1)
+			//lint:allow gospawn one coordinator per island; all work inside acquires from the shared pool
 			go func(isl *island) {
 				defer wg.Done()
 				pprof.Do(isl.ctx, pprof.Labels(), func(context.Context) {

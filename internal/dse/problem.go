@@ -9,6 +9,14 @@ import (
 	"mcmap/internal/model"
 	"mcmap/internal/platform"
 	"mcmap/internal/sched"
+	"mcmap/internal/validate"
+)
+
+// defaultMaxK and defaultMaxReplicas are the paper's chromosome caps
+// (k <= 3 re-executions, up to 4 replicas).
+const (
+	defaultMaxK        = 3
+	defaultMaxReplicas = 4
 )
 
 // Problem is the immutable optimization instance shared by all
@@ -32,19 +40,20 @@ type Problem struct {
 }
 
 // NewProblem validates the instance and precomputes the chromosome
-// layout.
+// layout. Validation is the full static pre-flight pass: beyond the
+// structural checks it rejects instances no design could ever satisfy
+// (unallocatable tasks, over-utilized platforms, unreachable
+// reliability bounds at the chromosome's hardening caps), so the GA
+// fails fast instead of evolving against an unsatisfiable instance.
 func NewProblem(arch *model.Architecture, apps *model.AppSet) (*Problem, error) {
-	if err := model.ValidateArchitecture(arch); err != nil {
-		return nil, err
-	}
-	if err := model.ValidateAppSet(apps); err != nil {
-		return nil, err
+	if r := validate.CheckSystem(arch, apps, nil, validate.Limits{MaxK: defaultMaxK, MaxReplicas: defaultMaxReplicas}); r.HasErrors() {
+		return nil, r.Err()
 	}
 	p := &Problem{
 		Arch:        arch,
 		Apps:        apps,
-		MaxK:        3,
-		MaxReplicas: 4,
+		MaxK:        defaultMaxK,
+		MaxReplicas: defaultMaxReplicas,
 		Analysis:    core.NewConfig(),
 	}
 	for _, g := range apps.Graphs {

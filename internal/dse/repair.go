@@ -6,6 +6,7 @@ import (
 	"mcmap/internal/hardening"
 	"mcmap/internal/model"
 	"mcmap/internal/reliability"
+	"mcmap/internal/validate"
 )
 
 // Repair applies the paper's randomized repair heuristics (Section 4) to
@@ -201,6 +202,20 @@ func (p *Problem) repairReliability(g *Genome, rng *rand.Rand) bool {
 		}
 		if as.OK() {
 			return true
+		}
+		// Fail fast on provably unreachable targets: when the validator's
+		// lower bound says no hardening within the chromosome caps can
+		// meet a violated graph's f_t, the remaining attempts would burn
+		// 64 Decode+Assess rounds for nothing. The check is pure
+		// arithmetic over the platform (no decode), so it costs one pass
+		// on the first violating attempt.
+		if attempt == 0 {
+			lim := validate.Limits{MaxK: p.MaxK, MaxReplicas: p.MaxReplicas}
+			for _, name := range as.Violations {
+				if ok, _ := validate.GraphReliabilityReachable(p.Arch, p.Apps.Graph(name), lim); !ok {
+					return false
+				}
+			}
 		}
 		// Pick a random task of a random violating graph and harden it
 		// with a random technique, as the paper prescribes.

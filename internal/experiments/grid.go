@@ -40,6 +40,7 @@ func runCells(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
+		//lint:allow gospawn grid-cell coordinator; immediately blocks in pool-bounded Optimize work
 		go func(i int) {
 			defer wg.Done()
 			errs[i] = fn(i)

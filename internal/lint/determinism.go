@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DeterministicPackages are the import-path suffixes whose outputs must
+// be byte-identical across runs: the Algorithm 1 core, the
+// schedulability backends and the DSE engine (Reports, CSV exports and
+// optimization trajectories are all compared byte-for-byte by the
+// property tests and the experiments harness).
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/sched",
+	"internal/dse",
+}
+
+func inDeterministicPackage(path string) bool {
+	for _, suffix := range DeterministicPackages {
+		if pathHasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// seededRandConstructors are the math/rand functions that build an
+// explicitly seeded generator; everything else at package level draws
+// from the global, non-reproducible source.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// DeterminismAnalyzer flags ambient-nondeterminism sources inside the
+// deterministic packages: wall-clock reads (time.Now, time.Since),
+// package-level math/rand draws (unseeded global source) and
+// environment-dependent branches (os.Getenv / os.LookupEnv). Seeded
+// *rand.Rand instances (rand.New(rand.NewSource(seed))) are fine — only
+// the global-source helpers are flagged.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/time.Since, unseeded math/rand draws and os.Getenv " +
+		"inside internal/core, internal/sched and internal/dse, whose outputs " +
+		"must be byte-identical across runs",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !inDeterministicPackage(pass.PkgPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		imports := fileImports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, fn, ok := calleePkgFunc(imports, call)
+			if !ok {
+				return true
+			}
+			switch path {
+			case "time":
+				if fn == "Now" || fn == "Since" || fn == "Until" {
+					pass.Reportf(call.Pos(),
+						"call to time.%s in a deterministic package; thread timestamps in from the caller", fn)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandConstructors[fn] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global, unseeded source; use a seeded *rand.Rand threaded from Options.Seed", fn)
+				}
+			case "os":
+				if fn == "Getenv" || fn == "LookupEnv" {
+					pass.Reportf(call.Pos(),
+						"os.%s makes a deterministic path environment-dependent; plumb configuration through Config/Options instead", fn)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// GoSpawnAnalyzer flags bare go statements everywhere outside
+// internal/workpool. All concurrency rides the shared worker budget
+// (workpool.Pool) so nested parallel layers cannot oversubscribe the
+// machine; a bare goroutine bypasses that accounting. Sanctioned
+// spawn sites — the pool's own fan-out plus the coordinator goroutines
+// that immediately block on pool-bounded work — carry //lint:allow
+// gospawn comments explaining why they are safe.
+var GoSpawnAnalyzer = &Analyzer{
+	Name: "gospawn",
+	Doc: "forbid bare go statements outside internal/workpool; spawn through " +
+		"the shared worker budget so nesting cannot oversubscribe",
+	Run: runGoSpawn,
+}
+
+func runGoSpawn(pass *Pass) {
+	if pathHasSuffix(pass.PkgPath, "internal/workpool") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare go statement outside internal/workpool; acquire a slot from the shared workpool.Pool (or document why this spawn cannot oversubscribe)")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed (non-test) Go package ready for analysis.
+type Package struct {
+	// Name is the package identifier.
+	Name string
+	// Path is the import path within the module.
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// Load parses the packages selected by the go-style patterns, resolved
+// relative to root (the module directory containing go.mod). Supported
+// patterns are plain relative directories ("./internal/core") and
+// recursive ones ("./..." or "./internal/..."). Test files, testdata
+// directories and hidden directories are skipped.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := loadDir(root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses one directory's non-test files into a Package, or nil
+// when the directory holds no Go sources.
+func loadDir(root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, fn), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if name == "" {
+			name = f.Name.Name
+		}
+		// Directories may legally mix a package with its external test
+		// package; anything else is left for the compiler to complain
+		// about. Keep the majority package: the first one seen.
+		if f.Name.Name != name {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Name: name, Path: path, Dir: dir, Fset: fset, Files: files}, nil
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (run from the module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SyncCopyAnalyzer flags by-value signatures (parameters, results,
+// receivers) of package-local struct types that embed sync.Mutex,
+// sync.RWMutex, sync.WaitGroup, sync.Once or sync.Cond — including
+// transitively, through fields of other such local structs. Copying
+// such a struct forks its lock state; in the hot analysis structs a
+// copied mutex "works" until two goroutines lock different copies.
+// go vet's copylocks catches copies at call sites; this pass rejects
+// the signatures that make those call sites possible in the first
+// place.
+var SyncCopyAnalyzer = &Analyzer{
+	Name: "synccopy",
+	Doc: "forbid by-value parameters/results/receivers of local struct types " +
+		"containing sync.Mutex/RWMutex/WaitGroup/Once/Cond; pass pointers",
+	Run: runSyncCopy,
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+}
+
+func runSyncCopy(pass *Pass) {
+	locky := lockyStructs(pass)
+	if len(locky) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			check := func(fl *ast.FieldList, kind string) {
+				if fl == nil {
+					return
+				}
+				for _, fld := range fl.List {
+					id, ok := fld.Type.(*ast.Ident)
+					if !ok || !locky[id.Name] {
+						continue
+					}
+					pass.Reportf(fld.Type.Pos(),
+						"%s copies %s, which contains a sync lock; use *%s", kind, id.Name, id.Name)
+				}
+			}
+			check(fd.Recv, "by-value receiver")
+			check(fd.Type.Params, "by-value parameter")
+			check(fd.Type.Results, "by-value result")
+		}
+	}
+}
+
+// lockyStructs returns the names of package-local struct types that
+// contain a sync lock, directly or through another local locky struct.
+// The fixpoint iterates until no new type is added (nesting depth is
+// tiny in practice).
+func lockyStructs(pass *Pass) map[string]bool {
+	// structFields[name] = the field type expressions of struct `name`,
+	// with the owning file's import table for resolving sync.X.
+	type structInfo struct {
+		fields  []ast.Expr
+		imports map[string]string
+	}
+	structs := map[string]structInfo{}
+	for _, f := range pass.Files {
+		imports := fileImports(f)
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				info := structInfo{imports: imports}
+				for _, fld := range st.Fields.List {
+					info.fields = append(info.fields, fld.Type)
+				}
+				structs[ts.Name.Name] = info
+			}
+		}
+	}
+
+	locky := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for name, info := range structs {
+			if locky[name] {
+				continue
+			}
+			for _, t := range info.fields {
+				if isLockType(t, info.imports, locky) {
+					locky[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return locky
+}
+
+// isLockType matches sync.Mutex-style selector types and local locky
+// struct names (by value — a *sync.Mutex field is fine to copy).
+func isLockType(t ast.Expr, imports map[string]string, locky map[string]bool) bool {
+	switch v := t.(type) {
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return imports[id.Name] == "sync" && syncLockTypes[v.Sel.Name]
+	case *ast.Ident:
+		return locky[v.Name]
+	case *ast.ArrayType:
+		return isLockType(v.Elt, imports, locky)
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+// Package gospawn is golden-test input for the gospawn analyzer. It
+// only needs to parse; it is never compiled.
+package gospawn
+
+import "sync"
+
+func work() {}
+
+func bareSpawn() {
+	go work() // want `bare go statement outside internal/workpool`
+}
+
+func bareClosure() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `bare go statement outside internal/workpool`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func sanctionedCoordinator() {
+	go work() //lint:allow gospawn coordinator immediately blocks on pool-bounded work
+}
+
+func synchronousIsFine() {
+	work()
+}

@@ -1,0 +1,92 @@
+// Package maprange is golden-test input for the maprange analyzer. It
+// only needs to parse; it is never compiled.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DropSet mirrors the named map types of the real model.
+type DropSet map[string]bool
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to "out"`
+		out = append(out, k)
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenSortSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func writeFromLoop(w io.Writer, d DropSet) {
+	for name := range d {
+		fmt.Fprintf(w, "%s\n", name) // want `fmt\.Fprintf inside a map-range`
+	}
+}
+
+func hashFromLoop(h io.Writer, m map[int]int) {
+	for k, v := range m {
+		h.Write([]byte{byte(k), byte(v)}) // want `Write call inside a map-range`
+	}
+}
+
+func fillOtherMap(m map[string]int) map[string]int {
+	nd := make(map[string]int, len(m))
+	for k, v := range m {
+		nd[k] = v
+	}
+	return nd
+}
+
+func loopLocalAppend(m map[string]int) {
+	for k := range m {
+		var tmp []string
+		tmp = append(tmp, k)
+		_ = tmp
+	}
+}
+
+func sliceRangeIsFine(xs []string, w io.Writer) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+		fmt.Fprintln(w, x)
+	}
+	return out
+}
+
+func bodylessDrain(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func allowedWithReason(m map[string]int) []string {
+	var out []string
+	//lint:allow maprange the caller sorts the result before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package synccopy is golden-test input for the synccopy analyzer. It
+// only needs to parse; it is never compiled.
+package synccopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct {
+	inner guarded
+	name  string
+}
+
+type pointerHolder struct {
+	mu *sync.Mutex
+}
+
+func byValueParam(g guarded) int { // want `by-value parameter copies guarded`
+	return g.n
+}
+
+func byValueNested(w wrapper) string { // want `by-value parameter copies wrapper`
+	return w.name
+}
+
+func byValueResult() guarded { // want `by-value result copies guarded`
+	return guarded{}
+}
+
+func (g guarded) byValueReceiver() int { // want `by-value receiver copies guarded`
+	return g.n
+}
+
+func (g *guarded) pointerReceiverIsFine() int {
+	return g.n
+}
+
+func pointerParamIsFine(g *guarded, w *wrapper) {}
+
+func pointerFieldIsFine(p pointerHolder) {}
+
+func allowedCopy(g guarded) int { //lint:allow synccopy snapshot taken under an external lock
+	return g.n
+}

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedSpecs feeds the corpus: every committed testdata spec plus a few
+// handwritten minimal/malformed documents that exercise the decoder's
+// edge cases.
+func seedSpecs(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "spec_*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		`{}`,
+		`{"architecture":null,"apps":null}`,
+		`{"architecture":{"procs":[{"id":0}]},"apps":{"graphs":[{"name":"g","period":1000,"reliability_bound":-1,"tasks":[{"id":"g/t","bcet":1,"wcet":2}]}]}}`,
+		`{"architecture":{"procs":[{"id":0},{"id":0}]},"apps":{"graphs":[null]}}`,
+		`{"architecture":{"procs":[{"id":0}]},"apps":{"graphs":[{"name":"g","period":1000,"reliability_bound":-1,"tasks":[{"id":"g/t","bcet":5,"wcet":2}],"channels":[{"src":"g/t","dst":"g/t"}]}]},"mapping":{"g/t":7}}`,
+	} {
+		f.Add([]byte(s))
+	}
+}
+
+// FuzzReadSpec drives the JSON input path of the command-line tools:
+// decoding must never panic, and any spec that passes validation must
+// survive a write/read round trip unchanged in validity.
+func FuzzReadSpec(f *testing.F) {
+	seedSpecs(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSpec(bytes.NewReader(data))
+		if err != nil {
+			return // invalid inputs only need to be rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatalf("validated spec fails to encode: %v", err)
+		}
+		if _, err := ReadSpec(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("validated spec fails the round trip: %v\nencoded: %s", err, buf.Bytes())
+		}
+	})
+}

@@ -62,6 +62,23 @@ func LoadSpec(path string) (*Spec, error) {
 	return ReadSpec(f)
 }
 
+// LoadSpecLenient reads a spec from a file WITHOUT validating it. It is
+// the entry point for diagnostic tooling (ftmap -check) that wants to
+// report every problem of a malformed spec instead of the first
+// decoding-stage error; everything else should use LoadSpec.
+func LoadSpecLenient(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var s Spec
+	if err := json.NewDecoder(f).Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decoding spec: %w", err)
+	}
+	return &s, nil
+}
+
 // SaveSpec writes a spec to a file.
 func SaveSpec(path string, s *Spec) error {
 	f, err := os.Create(path)

@@ -1,0 +1,47 @@
+package validate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+// FuzzCheckSpec hammers the validator with arbitrary decoded specs. It
+// asserts the three properties the tools rely on: CheckSpec never
+// panics regardless of how malformed the spec is, it is deterministic,
+// and it is at least as strict as the model package's first-error
+// validation (an Error-free result implies model.Spec.Validate passes,
+// so a spec that survives `ftmap -check` never dies later in LoadSpec).
+func FuzzCheckSpec(f *testing.F) {
+	for _, dir := range []string{filepath.Join("..", "model", "testdata")} {
+		paths, _ := filepath.Glob(filepath.Join(dir, "spec_*.json"))
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"architecture":{"procs":[{"id":0,"fault_rate":-1}]},"apps":{"graphs":[{"name":"g","period":-1,"reliability_bound":1e-30,"tasks":[null]}]}}`))
+	f.Add([]byte(`{"architecture":{"procs":[{"id":0}]},"apps":{"graphs":[{"name":"g","period":1000,"reliability_bound":-1,"tasks":[{"id":"g/t"}]}]},"mapping":{"ghost":3}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s model.Spec
+		if json.Unmarshal(data, &s) != nil {
+			return
+		}
+		r := CheckSpec(&s) // must not panic
+		again := CheckSpec(&s)
+		if !reflect.DeepEqual(r.Diags, again.Diags) {
+			t.Fatalf("CheckSpec is nondeterministic:\nfirst:\n%s\nsecond:\n%s", r, again)
+		}
+		if !r.HasErrors() {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("CheckSpec found no errors but model validation rejects the spec: %v\ninput: %s", err, data)
+			}
+		}
+	})
+}

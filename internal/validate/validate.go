@@ -1,0 +1,186 @@
+// Package validate is the static pre-flight validator of the repo: it
+// walks a problem instance (architecture, application set, optional
+// mapping) and the DSE parameters before any expensive analysis or
+// optimization runs, and reports every problem it can find as a
+// structured diagnostic with a stable code, a severity, a model
+// location and a fix hint.
+//
+// It differs from the first-error checks in internal/model in three
+// ways: it collects ALL diagnostics instead of stopping at the first,
+// it never panics on malformed input (so tools can diagnose a spec that
+// model.ReadSpec would reject), and it adds necessary-condition checks
+// that model validation deliberately leaves to the analyses —
+// per-platform utilization bounds, Eq. 1 overflow at the hardening cap,
+// and reliability targets that no hardening within the DSE limits could
+// ever reach.
+//
+// Severity semantics:
+//
+//   - Error: the instance is structurally malformed, or a necessary
+//     condition for ANY feasible design is violated — running the
+//     analyses or the DSE is pointless.
+//   - Warning: the instance is analyzable but almost certainly not what
+//     the author intended (e.g. a mapped design whose per-processor
+//     utilization already exceeds 1).
+//   - Info: observations that cost nothing to know.
+//
+// Diagnostic codes are stable identifiers: MC01xx for model/system
+// checks and MC02xx for DSE parameter checks. See DESIGN.md §8 for the
+// full catalog.
+package validate
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mcmap/internal/model"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Info is a cost-free observation.
+	Info Severity = iota
+	// Warning marks an analyzable but suspicious instance.
+	Warning
+	// Error marks a malformed instance or a violated necessary
+	// condition: no feasible design can exist.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one validation finding.
+type Diagnostic struct {
+	// Code is the stable identifier (MC0101..MC02xx).
+	Code string
+	// Severity classifies the finding.
+	Severity Severity
+	// Loc names the model element ("proc[2]", "graph ctrl", "task
+	// ctrl/sense", "mapping", "dse options").
+	Loc string
+	// Msg states the problem.
+	Msg string
+	// Hint suggests the fix.
+	Hint string
+}
+
+// String renders the diagnostic in one line.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s %s %s: %s", d.Severity, d.Code, d.Loc, d.Msg)
+	if d.Hint != "" {
+		s += " (" + d.Hint + ")"
+	}
+	return s
+}
+
+// Result is an ordered list of diagnostics from one validation pass.
+type Result struct {
+	Diags []Diagnostic
+}
+
+// HasErrors reports whether any diagnostic is Error-severity.
+func (r *Result) HasErrors() bool { return r.Count(Error) > 0 }
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Result) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Codes returns the sorted, deduplicated set of codes present.
+func (r *Result) Codes() []string {
+	seen := map[string]bool{}
+	for _, d := range r.Diags {
+		seen[d.Code] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByCode returns the diagnostics carrying the given code.
+func (r *Result) ByCode(code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Err returns nil when the result has no errors, and otherwise an error
+// (wrapping model.ErrInvalid so errors.Is classification keeps working)
+// that summarizes every Error-severity diagnostic.
+func (r *Result) Err() error {
+	if !r.HasErrors() {
+		return nil
+	}
+	var msgs []string
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			msgs = append(msgs, fmt.Sprintf("[%s] %s: %s", d.Code, d.Loc, d.Msg))
+		}
+	}
+	return fmt.Errorf("%w: %s", model.ErrInvalid, strings.Join(msgs, "; "))
+}
+
+// Format writes one line per diagnostic, errors first, then warnings,
+// then infos, each group in detection order.
+func (r *Result) Format(w io.Writer) {
+	for _, sev := range []Severity{Error, Warning, Info} {
+		for _, d := range r.Diags {
+			if d.Severity == sev {
+				fmt.Fprintln(w, d.String())
+			}
+		}
+	}
+}
+
+// String renders the whole result (for logs and tests).
+func (r *Result) String() string {
+	var sb strings.Builder
+	r.Format(&sb)
+	return sb.String()
+}
+
+// report appends one diagnostic.
+func (r *Result) report(code string, sev Severity, loc, msg, hint string) {
+	r.Diags = append(r.Diags, Diagnostic{Code: code, Severity: sev, Loc: loc, Msg: msg, Hint: hint})
+}
+
+// Limits bounds the hardening space considered by the reachability and
+// overflow checks (the DSE chromosome caps).
+type Limits struct {
+	// MaxK is the largest re-execution degree considered.
+	MaxK int
+	// MaxReplicas is the largest replica count considered.
+	MaxReplicas int
+}
+
+// DefaultLimits mirrors the DSE defaults (k <= 3, replicas <= 4).
+func DefaultLimits() Limits { return Limits{MaxK: 3, MaxReplicas: 4} }

@@ -46,6 +46,7 @@ import (
 	"mcmap/internal/power"
 	"mcmap/internal/reliability"
 	"mcmap/internal/sim"
+	"mcmap/internal/validate"
 )
 
 // ---------------------------------------------------------------------------
@@ -103,8 +104,53 @@ func NewAppSet(graphs ...*TaskGraph) *AppSet { return model.NewAppSet(graphs...)
 // LoadSpec reads a problem instance from a JSON file.
 func LoadSpec(path string) (*Spec, error) { return model.LoadSpec(path) }
 
+// LoadSpecLenient reads a problem instance without validating it, so
+// Validate can report every diagnostic of a malformed spec.
+func LoadSpecLenient(path string) (*Spec, error) { return model.LoadSpecLenient(path) }
+
 // SaveSpec writes a problem instance to a JSON file.
 func SaveSpec(path string, s *Spec) error { return model.SaveSpec(path, s) }
+
+// ---------------------------------------------------------------------------
+// Static validation.
+
+type (
+	// ValidationResult is the ordered diagnostic list of one validation
+	// pass; HasErrors/Err/Format are the common consumers.
+	ValidationResult = validate.Result
+	// ValidationDiagnostic is one finding with a stable code (MC01xx
+	// system checks, MC02xx DSE checks), severity, location and hint.
+	ValidationDiagnostic = validate.Diagnostic
+	// ValidationSeverity classifies a diagnostic.
+	ValidationSeverity = validate.Severity
+	// HardeningLimits bounds the hardening space the reachability and
+	// overflow checks consider.
+	HardeningLimits = validate.Limits
+)
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = validate.Info
+	SeverityWarning = validate.Warning
+	SeverityError   = validate.Error
+)
+
+// Validate statically checks a problem instance and returns every
+// diagnostic found: structural problems, necessary-condition violations
+// (utilization, deadlines, Eq. 1 overflow) and reliability targets that
+// no hardening within the default DSE limits could reach. It never
+// panics, even on arbitrarily malformed specs.
+func Validate(s *Spec) *ValidationResult { return validate.CheckSpec(s) }
+
+// ValidateSystem is Validate over unbundled parts with explicit
+// hardening limits; mapping may be nil.
+func ValidateSystem(arch *Architecture, apps *AppSet, mapping Mapping, lim HardeningLimits) *ValidationResult {
+	return validate.CheckSystem(arch, apps, mapping, lim)
+}
+
+// DefaultHardeningLimits mirrors the DSE chromosome caps (k <= 3,
+// replicas <= 4) used by Validate.
+func DefaultHardeningLimits() HardeningLimits { return validate.DefaultLimits() }
 
 // ---------------------------------------------------------------------------
 // Hardening (Section 2.2).
