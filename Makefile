@@ -2,7 +2,7 @@
 # extra dependencies are required.
 
 GO         ?= go
-BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache|BenchmarkIslandDSE|BenchmarkSPEA2Select
+BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkAnalyzeBatch|BenchmarkCompiledKernel|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache|BenchmarkIslandDSE|BenchmarkSPEA2Select
 BENCHCOUNT ?= 3
 BENCHOUT   ?= BENCH_core.json
 FUZZTIME   ?= 20s
@@ -52,9 +52,9 @@ bench:
 # kernels regressed >15% against the committed $(BENCHOUT) baseline
 # (same gate CI runs; see .github/workflows/ci.yml).
 benchguard:
-	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkIslandDSE|BenchmarkSPEA2Select' -count 3 -json . > bench_current.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkIslandDSE|BenchmarkSPEA2Select' -count 3 -json . > bench_current.json
 	$(GO) run ./cmd/benchguard -baseline $(BENCHOUT) -current bench_current.json \
-		-threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkIslandDSE|BenchmarkSPEA2Select'
+		-threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkIslandDSE|BenchmarkSPEA2Select'
 	@rm -f bench_current.json
 
 clean:

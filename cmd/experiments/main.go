@@ -36,6 +36,7 @@ func main() {
 	islands := flag.Int("islands", 1, "concurrent GA islands per optimization run (per-island seeds derive from -seed)")
 	migrationInterval := flag.Int("migration-interval", 10, "generations between Pareto-elite ring migrations (multi-island runs)")
 	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
+	compiled := flag.Bool("compiled", true, "use the compiled columnar (SoA) analysis kernel; -compiled=false falls back to the pointer-graph engine (identical results, slower)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -55,6 +56,7 @@ func main() {
 	opts.Islands = *islands
 	opts.MigrationInterval = *migrationInterval
 	opts.PruneDominated = *prune
+	opts.DisableCompiled = !*compiled
 	mcRuns := 10000
 	if *quick {
 		mcRuns = 500
@@ -77,7 +79,7 @@ func main() {
 		"dropgain":   func() error { return dropgain(opts) },
 		"ratio":      func() error { return ratio(opts) },
 		"pareto":     func() error { return pareto(opts) },
-		"ablation":   func() error { return ablation(*quick, *seed, *workers, *islands, *migrationInterval) },
+		"ablation":   func() error { return ablation(*quick, *seed, *workers, *islands, *migrationInterval, !*compiled) },
 		"related":    related,
 	}
 	if cmd == "all" {
@@ -97,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-workers N] [-islands K] [-migration-interval M] [-cpuprofile F] [-memprofile F] <subcommand>
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-workers N] [-islands K] [-migration-interval M] [-compiled=BOOL] [-cpuprofile F] [-memprofile F] <subcommand>
 
 subcommands:
   motivation   Figure 1 motivational example
@@ -166,12 +168,12 @@ func pareto(opts dse.Options) error {
 	return nil
 }
 
-func ablation(quick bool, seed int64, workers, islands, migrationInterval int) error {
+func ablation(quick bool, seed int64, workers, islands, migrationInterval int, disableCompiled bool) error {
 	opts := dse.Options{PopSize: 48, Generations: 60, Seed: seed, Workers: workers,
-		Islands: islands, MigrationInterval: migrationInterval}
+		Islands: islands, MigrationInterval: migrationInterval, DisableCompiled: disableCompiled}
 	if quick {
 		opts = dse.Options{PopSize: 24, Generations: 15, Seed: seed, Workers: workers,
-			Islands: islands, MigrationInterval: migrationInterval}
+			Islands: islands, MigrationInterval: migrationInterval, DisableCompiled: disableCompiled}
 	}
 	r, err := experiments.Ablations(opts)
 	if err != nil {

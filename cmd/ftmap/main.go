@@ -28,6 +28,7 @@ func main() {
 	noDrop := flag.Bool("nodrop", false, "disable task dropping (T_d always empty)")
 	track := flag.Bool("track", false, "track the dropping-rescue ratio (doubles analysis cost)")
 	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
+	compiled := flag.Bool("compiled", true, "use the compiled columnar (SoA) analysis kernel; -compiled=false falls back to the pointer-graph engine (identical results, slower)")
 	out := flag.String("o", "", "write the best design's spec (arch+apps+mapping) to this JSON file")
 	csvPrefix := flag.String("csv", "", "write <prefix>-front.csv and <prefix>-history.csv for plotting")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,6 +90,7 @@ func main() {
 		PopSize: *pop, Generations: *gens, Seed: *seed, Workers: *workers,
 		Islands: *islands, MigrationInterval: *migrationInterval,
 		DisableDropping: *noDrop, TrackDroppingGain: *track, PruneDominated: *prune,
+		DisableCompiled: !*compiled,
 	})
 	if err != nil {
 		fatal(stopProf, err)

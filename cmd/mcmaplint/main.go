@@ -1,6 +1,6 @@
 // Command mcmaplint runs the repository's invariant linter suite (see
-// internal/lint): determinism, maprange, gospawn, synccopy and
-// cachewrite. It is wired into `make lint` and CI; run it over the
+// internal/lint): determinism, maprange, gospawn, synccopy, cachewrite
+// and compiledwrite. It is wired into `make lint` and CI; run it over the
 // whole module with
 //
 //	go run ./cmd/mcmaplint ./...

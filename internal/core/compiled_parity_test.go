@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcmap/internal/benchmarks"
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// paritySignature extends the engine-independent reportSignature (see
+// incremental_test.go — it already excludes the Iterations diagnostic
+// the two engines legitimately disagree on) with the remaining engine
+// counters, so equal signatures mean byte-identical Reports in every
+// field the analysis contract covers, including the dedup/prune/warm
+// trajectory.
+func paritySignature(rep *core.Report) string {
+	return fmt.Sprintf("%s|pruned=%d incremental=%d struct=%d,%d,%d",
+		reportSignature(rep, true),
+		rep.ScenariosPruned, rep.ScenariosIncremental,
+		rep.StructHits, rep.StructMisses, rep.StructWarmJobs)
+}
+
+// requireCompiledParity analyzes one system under both engines across
+// the config dimensions that change the backend invocation pattern
+// (incremental warm starts on/off, dominance pruning on/off) and
+// requires identical Report signatures.
+func requireCompiledParity(t *testing.T, name string, sys *platform.System, dropped core.DropSet) {
+	t.Helper()
+	for _, variant := range []struct {
+		label       string
+		incremental bool
+		prune       bool
+	}{
+		{"incremental", true, false},
+		{"cold", false, false},
+		{"incremental+prune", true, true},
+	} {
+		base := core.NewConfig()
+		base.Incremental = variant.incremental
+		base.PruneDominated = variant.prune
+		base.Workers = 1 // deterministic merge order on both sides
+
+		pointer := base
+		pointer.Compiled = false
+		want, err := core.Analyze(sys, dropped, pointer)
+		if err != nil {
+			t.Fatalf("%s/%s: pointer engine: %v", name, variant.label, err)
+		}
+		compiled := base
+		compiled.Compiled = true
+		got, err := core.Analyze(sys, dropped, compiled)
+		if err != nil {
+			t.Fatalf("%s/%s: compiled engine: %v", name, variant.label, err)
+		}
+		gotSig, wantSig := paritySignature(got), paritySignature(want)
+		if gotSig != wantSig {
+			t.Errorf("%s/%s: compiled report diverges from pointer report\n got %.400s\nwant %.400s",
+				name, variant.label, gotSig, wantSig)
+		}
+	}
+}
+
+// TestCompiledReportParity is the end-to-end parity property over the
+// whole Algorithm 1 wrapper: for a spread of platforms — the Cruise
+// case study, dense few-processor synthetics, wide sparse ones, and a
+// shared-bus fabric — the compiled engine's Report must be
+// byte-identical to the pointer engine's, modulo the documented
+// Iterations diagnostic.
+func TestCompiledReportParity(t *testing.T) {
+	type tc struct {
+		name  string
+		bench *benchmarks.Benchmark
+		strat benchmarks.MappingStrategy
+	}
+	cases := []tc{
+		{"cruise", benchmarks.Cruise(), benchmarks.MapClustered},
+		{"dt-med", benchmarks.DTMed(), benchmarks.MapLoadBalance},
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		cases = append(cases, tc{
+			name: fmt.Sprintf("dense-%d", seed),
+			bench: benchmarks.Synth(benchmarks.SynthConfig{
+				Name: fmt.Sprintf("dense-%d", seed), Procs: 3,
+				CriticalApps: 2, DroppableApps: 2,
+				MinTasks: 4, MaxTasks: 8, Seed: seed,
+			}),
+			strat: benchmarks.MapLoadBalance,
+		}, tc{
+			name: fmt.Sprintf("sparse-%d", seed),
+			bench: benchmarks.Synth(benchmarks.SynthConfig{
+				Name: fmt.Sprintf("sparse-%d", seed), Procs: 10,
+				CriticalApps: 3, DroppableApps: 3,
+				MinTasks: 2, MaxTasks: 4, Seed: seed,
+			}),
+			strat: benchmarks.MapSeededRandom,
+		})
+	}
+	shared := benchmarks.Cruise()
+	shared.Arch.Fabric.Shared = true
+	cases = append(cases, tc{"shared-bus", shared, benchmarks.MapLoadBalance})
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys, dropped, err := c.bench.CompiledSample(c.strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireCompiledParity(t, c.name, sys, dropped)
+		})
+	}
+}
+
+// fuzzSystem turns a decoded spec into an analyzable system the same
+// way for both engines: a deterministic hardening plan (cycling
+// re-execution / passive replication / none over the task list, so
+// trigger-rich scenario sets arise) and a round-robin mapping over the
+// hardened task set. Specs that fail validation, hardening or platform
+// compilation return nil — the fuzzer treats those as uninteresting.
+func fuzzSystem(data []byte) (*platform.System, core.DropSet) {
+	var s model.Spec
+	if json.Unmarshal(data, &s) != nil {
+		return nil, nil
+	}
+	if s.Architecture == nil || s.Apps == nil || s.Validate() != nil {
+		return nil, nil
+	}
+	plan := hardening.Plan{}
+	i := 0
+	for _, g := range s.Apps.Graphs {
+		for _, task := range g.Tasks {
+			switch i % 3 {
+			case 0:
+				plan[task.ID] = hardening.Decision{Technique: hardening.ReExecution, K: 1}
+			case 1:
+				plan[task.ID] = hardening.Decision{Technique: hardening.PassiveReplication, Replicas: hardening.ActiveBase + 1}
+			}
+			i++
+		}
+	}
+	man, err := hardening.Apply(s.Apps, plan)
+	if err != nil {
+		return nil, nil
+	}
+	mapping := model.Mapping{}
+	i = 0
+	for _, g := range man.Apps.Graphs {
+		for _, task := range g.Tasks {
+			mapping[task.ID] = s.Architecture.Procs[i%len(s.Architecture.Procs)].ID
+			i++
+		}
+	}
+	sys, err := platform.Compile(s.Architecture, man.Apps, mapping, nil)
+	if err != nil {
+		return nil, nil
+	}
+	// Busy-window divergence is only detected at 4x the hyperperiod, so a
+	// mutated period can make a single analysis run for seconds. Parity
+	// needs many cheap systems, not a few enormous ones.
+	if len(sys.Nodes) > 64 || sys.Hyperperiod > 1_000_000 {
+		return nil, nil
+	}
+	dropped := core.DropSet{}
+	for _, g := range man.Apps.Graphs {
+		if g.Droppable() {
+			dropped[g.Name] = true
+		}
+	}
+	if dropped.Validate(man.Apps) != nil {
+		return nil, nil
+	}
+	return sys, dropped
+}
+
+// FuzzCompiledReportParity reuses the FuzzCheckSpec input corpus (the
+// spec JSONs under internal/model/testdata plus whatever the fuzzer
+// mutates out of them) to hunt for system shapes where the compiled
+// engine's Report diverges from the pointer engine's.
+func FuzzCompiledReportParity(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "model", "testdata", "spec_*.json"))
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, dropped := fuzzSystem(data)
+		if sys == nil {
+			return
+		}
+		requireCompiledParity(t, "fuzz", sys, dropped)
+	})
+}

@@ -114,6 +114,18 @@ type Config struct {
 	// concurrency layers. Purely observational — it never affects
 	// results.
 	ProfCtx context.Context
+	// Compiled routes every backend invocation of an Analyze call
+	// through the columnar engine: the system is lowered once into
+	// contiguous SoA tables (sched.CompiledSystem, cached per backend
+	// instance) and the fixed point iterates over dense int32 indices
+	// instead of the pointer graph. Reports are bound-for-bound identical
+	// to the pointer path — the compiled kernel replicates the sweep
+	// trajectories verbatim (see internal/sched/compiled_analysis.go) —
+	// and arbitrated fabrics transparently delegate back to the pointer
+	// path, which models bus contention. Applies only to the holistic
+	// backend; other analyzers run unchanged. Enabled by default in
+	// NewConfig; the zero Config leaves it off.
+	Compiled bool
 	// Structural warm-starts the fault-free and critical-reference
 	// passes from a previously analyzed candidate with the same compiled
 	// structure (same job set, hardening decisions and drop set) but a
@@ -146,13 +158,13 @@ func (c Config) workers(analyzer sched.Analyzer) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// NewConfig returns the recommended configuration: holistic backend with
-// scenario deduplication, incremental warm-started scenario analysis and
-// parallel scenario fan-out over GOMAXPROCS workers. Dominance pruning
-// stays opt-in: it thins Report.Scenarios, which Explain consumers may
-// not want.
+// NewConfig returns the recommended configuration: compiled holistic
+// backend with scenario deduplication, incremental warm-started scenario
+// analysis and parallel scenario fan-out over GOMAXPROCS workers.
+// Dominance pruning stays opt-in: it thins Report.Scenarios, which
+// Explain consumers may not want.
 func NewConfig() Config {
-	return Config{Analyzer: &sched.Holistic{}, DedupScenarios: true, Incremental: true}
+	return Config{Analyzer: &sched.Holistic{}, DedupScenarios: true, Incremental: true, Compiled: true}
 }
 
 // Scenario identifies one state-transition hypothesis: the trigger job
@@ -237,7 +249,7 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	if err := dropped.Validate(sys.Apps); err != nil {
 		return nil, err
 	}
-	analyzer := cfg.analyzer()
+	analyzer := cfg.engageCompiled(cfg.analyzer(), sys)
 
 	rep := &Report{
 		Sys:       sys,
@@ -317,6 +329,10 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 		}
 		if refRes != nil && !diverged(refRes) {
 			base = &incrementalBase{analyzer: inc, result: refRes, exec: refExec}
+			// Scenario results are merged and dropped, never warm-started
+			// from; let engines skip their snapshots. AnalyzeBatch keeps
+			// full results instead — its callers own them.
+			base.leaf, _ = inc.(sched.LeafAnalyzer)
 			rep.ScenariosIncremental = len(jobs)
 		}
 	}

@@ -35,6 +35,11 @@ type incrementalBase struct {
 	analyzer sched.IncrementalAnalyzer
 	result   *sched.Result
 	exec     []sched.ExecBounds
+	// leaf, when non-nil, is the snapshot-skipping entry point of the
+	// same analyzer (sched.LeafAnalyzer): scenario results are merged
+	// into the report and never serve as baselines themselves, so the
+	// engine may omit the warm-start snapshot on them.
+	leaf sched.LeafAnalyzer
 }
 
 // analyzeJob runs one scenario's backend invocation, warm-starting from
@@ -47,6 +52,9 @@ func analyzeJob(analyzer sched.Analyzer, sys *platform.System, job *scenarioJob,
 	}
 	for i := range dirty {
 		dirty[i] = job.exec[i] != base.exec[i]
+	}
+	if base.leaf != nil {
+		return base.leaf.AnalyzeFromLeaf(sys, job.exec, base.result, dirty)
 	}
 	return base.analyzer.AnalyzeFrom(sys, job.exec, base.result, dirty)
 }

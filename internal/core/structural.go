@@ -52,11 +52,52 @@ import (
 // the compiled system plus drop set. Wire one into Config.Structural to
 // let sibling candidates warm-start each other's fault-free and
 // critical-reference passes.
+//
+// The cache is striped: above structShardMin entries it splits into a
+// power-of-two number of independently locked shards selected by a hash
+// of the key, so the parallel fitness evaluators of an island-model run
+// contend on a shard, not on one global mutex. Each shard runs its own
+// LRU over the ceiling division of the capacity, so the hard bound
+// overshoots the configured capacity by at most shards-1 entries.
+// Striping only re-partitions eviction order — lookups stay exact, and
+// entries remain immutable after insertion — so warm-start results are
+// unaffected; only which structure gets evicted under overflow shifts,
+// which the equivalence tests never reach (they run far below
+// capacity).
 type StructuralCache struct {
+	mask   uint64 // len(shards) - 1; shard count is a power of two
+	shards []structShard
+}
+
+type structShard struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
+}
+
+const (
+	// structShardMin is the capacity below which the cache stays
+	// single-sharded (exact global LRU, no stripe overhead).
+	structShardMin = 64
+	// structShards is the stripe count for full-sized caches. Must be a
+	// power of two.
+	structShards = 8
+)
+
+// shardOf hashes a structural key to its stripe (FNV-1a folded to the
+// shard mask; inlined to keep the lookup allocation-free).
+func (c *StructuralCache) shardOf(key string) *structShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&c.mask]
 }
 
 // structEntry is one cached structure's baselines. Entries are immutable
@@ -80,22 +121,32 @@ func NewStructuralCache(capacity int) *StructuralCache {
 	if capacity <= 0 {
 		capacity = 512
 	}
-	return &StructuralCache{
-		cap:   capacity,
-		ll:    list.New(),
-		byKey: make(map[string]*list.Element, capacity),
+	shards := 1
+	if capacity >= structShardMin {
+		shards = structShards
 	}
+	per := (capacity + shards - 1) / shards
+	c := &StructuralCache{mask: uint64(shards - 1), shards: make([]structShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = structShard{
+			cap:   per,
+			ll:    list.New(),
+			byKey: make(map[string]*list.Element, per),
+		}
+	}
+	return c
 }
 
 // lookup returns the cached entry for key, refreshing its recency.
 func (c *StructuralCache) lookup(key string) *structEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.byKey[key]
 	if !ok {
 		return nil
 	}
-	c.ll.MoveToFront(el)
+	sh.ll.MoveToFront(el)
 	return el.Value.(*structEntry)
 }
 
@@ -103,24 +154,30 @@ func (c *StructuralCache) lookup(key string) *structEntry {
 // wins: under parallel evaluation several siblings may race to fill the
 // same structure, and any converged baseline serves equally).
 func (c *StructuralCache) store(e *structEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.byKey[e.key]; ok {
+	sh := c.shardOf(e.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.byKey[e.key]; ok {
 		return
 	}
-	c.byKey[e.key] = c.ll.PushFront(e)
-	if c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*structEntry).key)
+	sh.byKey[e.key] = sh.ll.PushFront(e)
+	if sh.ll.Len() > sh.cap {
+		oldest := sh.ll.Back()
+		sh.ll.Remove(oldest)
+		delete(sh.byKey, oldest.Value.(*structEntry).key)
 	}
 }
 
 // Len reports the number of cached structures.
 func (c *StructuralCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // structuralKey serializes everything of the compiled system that must

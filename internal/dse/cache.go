@@ -3,79 +3,130 @@ package dse
 import (
 	"container/list"
 	"sync"
-
-	"mcmap/internal/model"
 )
 
 // fitnessStore is the bounded LRU over evaluated genomes, keyed by the
-// compact Genome.Key fingerprint (allocation bits + keep bits + gene
-// section). Crossover and mutation reproduce byte-identical genomes
-// constantly — especially late in a run, when the SPEA2 archive has
-// converged — and a hit skips the whole Decode→Apply→Compile→Analyze
-// pipeline.
+// Genome.Key128 fingerprint. Crossover and mutation reproduce
+// byte-identical genomes constantly — especially late in a run, when
+// the SPEA2 archive has converged — and a hit skips the whole
+// Decode→Apply→Compile→Analyze pipeline.
 //
-// The store is goroutine-safe: one store is shared by every island of a
-// run, so a genome evaluated on island 2 is a cache hit when island 5
-// reproduces it. Each island still touches the store only from the
-// sequential lookup and fill phases of its own evaluateAll, so for a
-// single-island run the LRU update order (and therefore the hit/miss
-// trajectory) stays deterministic for a given seed; with several islands
-// the hit/miss *counters* depend on cross-island timing, but hits replay
+// The store is goroutine-safe and striped: one store is shared by every
+// island of a run, so a genome evaluated on island 2 is a cache hit
+// when island 5 reproduces it. Above fitnessShardMin entries the store
+// splits into a power-of-two number of independently locked shards
+// (selected by the low fingerprint bits), so concurrent islands contend
+// on a shard, not on one global mutex. Each shard runs its own LRU over
+// its slice of the capacity; the total bound is still the configured
+// capacity (per-shard caps are the ceiling division, so the hard bound
+// overshoots by at most shards-1 entries).
+//
+// Determinism: each island touches the store only from the sequential
+// lookup and fill phases of its own evaluateAll, and the shard of a key
+// is a pure function of the key, so for a single-island run the
+// eviction order (and therefore the hit/miss trajectory) stays
+// deterministic for a given seed; with several islands the hit/miss
+// *counters* depend on cross-island timing, but hits replay
 // byte-identical evaluations, so the optimization trajectory never does.
 type fitnessStore struct {
+	mask   uint64 // len(shards) - 1; shard count is a power of two
+	shards []fitnessShard
+}
+
+type fitnessShard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
-	byKey    map[string]*list.Element
+	byKey    map[Key128]*list.Element
 }
 
 type cacheEntry struct {
-	key string
+	key Key128
 	ind *Individual
 }
 
+const (
+	// fitnessShardMin is the capacity below which the store stays
+	// single-sharded: tiny caches (tests, ablations) keep exact global
+	// LRU semantics, and striping them would leave shards of a handful
+	// of entries each.
+	fitnessShardMin = 64
+	// fitnessShards is the stripe count for full-sized stores. Must be
+	// a power of two.
+	fitnessShards = 8
+)
+
 func newFitnessStore(capacity int) *fitnessStore {
-	return &fitnessStore{
-		capacity: capacity,
-		ll:       list.New(),
-		byKey:    make(map[string]*list.Element, capacity),
+	shards := 1
+	if capacity >= fitnessShardMin {
+		shards = fitnessShards
 	}
+	return newFitnessStoreSharded(capacity, shards)
+}
+
+// newFitnessStoreSharded builds a store with an explicit stripe count
+// (a power of two), splitting capacity evenly across stripes.
+func newFitnessStoreSharded(capacity, shards int) *fitnessStore {
+	if shards < 1 || shards&(shards-1) != 0 {
+		panic("dse: fitness store shard count must be a power of two")
+	}
+	per := (capacity + shards - 1) / shards
+	s := &fitnessStore{mask: uint64(shards - 1), shards: make([]fitnessShard, shards)}
+	for i := range s.shards {
+		s.shards[i] = fitnessShard{
+			capacity: per,
+			ll:       list.New(),
+			byKey:    make(map[Key128]*list.Element, per),
+		}
+	}
+	return s
+}
+
+func (s *fitnessStore) shard(key Key128) *fitnessShard {
+	return &s.shards[key.Lo&s.mask]
 }
 
 // get returns the cached evaluation for key, refreshing its recency.
-func (s *fitnessStore) get(key string) (*Individual, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.byKey[key]
+func (s *fitnessStore) get(key Key128) (*Individual, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.byKey[key]
 	if !ok {
 		return nil, false
 	}
-	s.ll.MoveToFront(el)
+	sh.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).ind, true
 }
 
-// put inserts (or refreshes) an evaluation, evicting the least recently
-// used entry past capacity.
-func (s *fitnessStore) put(key string, ind *Individual) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.byKey[key]; ok {
-		s.ll.MoveToFront(el)
+// put inserts (or refreshes) an evaluation, evicting the shard's least
+// recently used entry past the shard capacity.
+func (s *fitnessStore) put(key Key128, ind *Individual) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byKey[key]; ok {
+		sh.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).ind = ind
 		return
 	}
-	s.byKey[key] = s.ll.PushFront(&cacheEntry{key: key, ind: ind})
-	if s.ll.Len() > s.capacity {
-		oldest := s.ll.Back()
-		s.ll.Remove(oldest)
-		delete(s.byKey, oldest.Value.(*cacheEntry).key)
+	sh.byKey[key] = sh.ll.PushFront(&cacheEntry{key: key, ind: ind})
+	if sh.ll.Len() > sh.capacity {
+		oldest := sh.ll.Back()
+		sh.ll.Remove(oldest)
+		delete(sh.byKey, oldest.Value.(*cacheEntry).key)
 	}
 }
 
 func (s *fitnessStore) size() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ll.Len()
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // fitnessCache is one island's view of the shared store plus that
@@ -124,8 +175,8 @@ func (c *fitnessCache) islandView() *fitnessCache {
 	return &fitnessCache{store: c.store}
 }
 
-func (c *fitnessCache) get(key string) (*Individual, bool) { return c.store.get(key) }
-func (c *fitnessCache) put(key string, ind *Individual)    { c.store.put(key, ind) }
+func (c *fitnessCache) get(key Key128) (*Individual, bool) { return c.store.get(key) }
+func (c *fitnessCache) put(key Key128, ind *Individual)    { c.store.put(key, ind) }
 func (c *fitnessCache) len() int                           { return c.store.size() }
 
 // bypassed reports whether the current generation should skip the cache.
@@ -172,10 +223,16 @@ func (c *fitnessCache) note(hits, misses int) {
 // requires fresh objects on every hit. Migration relies on the same
 // property: a migrant is a clone, so the sending island's archive keeps
 // its own Fitness values.
+//
+// The GraphWCRT and Dropped slices are shared between the clone and the
+// original as immutable report views: evaluation is their only writer
+// (engine.evaluate builds them before the Individual escapes), so every
+// later consumer — selectors, exports, migration — reads them only, and
+// deep-copying them on each of the run's thousands of cache hits bought
+// no isolation anyone used. Only the selector-mutated scalar fields are
+// per-clone.
 func (ind *Individual) cloneFor(g *Genome) *Individual {
 	c := *ind
 	c.Genome = g
-	c.GraphWCRT = append([]model.Time(nil), ind.GraphWCRT...)
-	c.Dropped = append([]string(nil), ind.Dropped...)
 	return &c
 }

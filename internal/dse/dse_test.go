@@ -73,13 +73,27 @@ func TestGenomeKeyDistinguishes(t *testing.T) {
 	p := tinyProblem(t)
 	rng := rand.New(rand.NewSource(1))
 	g := p.RandomGenome(rng)
-	if g.Key() != g.Clone().Key() {
+	if g.Key128() != g.Clone().Key128() {
 		t.Error("identical genomes must share keys")
 	}
-	c := g.Clone()
-	c.Keep[0] = !c.Keep[0]
-	if g.Key() == c.Key() {
-		t.Error("different genomes must differ in key")
+	// Every chromosome section must feed the fingerprint, including
+	// fields wider than a byte (the superseded string key truncated
+	// those).
+	mutants := map[string]func(*Genome){
+		"keep":        func(m *Genome) { m.Keep[0] = !m.Keep[0] },
+		"alloc":       func(m *Genome) { m.Alloc[0] = !m.Alloc[0] },
+		"technique":   func(m *Genome) { m.Genes[0].Technique++ },
+		"degree":      func(m *Genome) { m.Genes[0].K++ },
+		"map":         func(m *Genome) { m.Genes[0].Map += 256 },
+		"voter":       func(m *Genome) { m.Genes[0].VoterMap += 256 },
+		"replica-map": func(m *Genome) { m.Genes[0].ReplicaMap[0] += 256 },
+	}
+	for name, mutate := range mutants {
+		c := g.Clone()
+		mutate(c)
+		if g.Key128() == c.Key128() {
+			t.Errorf("%s change must alter the key", name)
+		}
 	}
 	if g.String() == "" {
 		t.Error("empty String()")

@@ -143,6 +143,12 @@ type Options struct {
 	// scenarios are skipped without changing WCRTs or verdicts, which is
 	// exactly what the GA consumes. Off by default for paper fidelity.
 	PruneDominated bool
+	// DisableCompiled forces the pointer-graph analysis engine
+	// (core.Config.Compiled = false) for every fitness evaluation. The
+	// compiled columnar kernel is on by default and produces
+	// byte-identical Reports; this switch exists for benchmarking the
+	// two engines against each other and as an escape hatch.
+	DisableCompiled bool
 	// DisableDropping forces every droppable application to be kept
 	// (T_d is always empty) — the "without task dropping" baseline.
 	DisableDropping bool
@@ -358,6 +364,9 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	if opts.PruneDominated {
 		ev.cfg.PruneDominated = true
 	}
+	if opts.DisableCompiled {
+		ev.cfg.Compiled = false
+	}
 	if opts.FitnessCacheSize > 0 {
 		ev.cache = newFitnessCache(opts.FitnessCacheSize)
 	}
@@ -503,18 +512,18 @@ func (isl *island) evaluateAll(genomes []*Genome) ([]*Individual, genCacheStats,
 	gc.bypassed = ev.cache != nil && !useCache
 	toEval := make([]int, 0, len(genomes))
 	var (
-		keys     []string
+		keys     []Key128
 		hits     []*Individual
-		firstIdx map[string]int
+		firstIdx map[Key128]int
 		dupOf    map[int]int
 	)
 	if useCache {
-		keys = make([]string, len(genomes))
+		keys = make([]Key128, len(genomes))
 		hits = make([]*Individual, len(genomes))
-		firstIdx = make(map[string]int, len(genomes))
+		firstIdx = make(map[Key128]int, len(genomes))
 		dupOf = make(map[int]int)
 		for i, g := range genomes {
-			keys[i] = g.Key()
+			keys[i] = g.Key128()
 			if ind, ok := ev.cache.get(keys[i]); ok {
 				hits[i] = ind
 				continue

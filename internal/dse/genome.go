@@ -11,6 +11,7 @@ package dse
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"mcmap/internal/hardening"
@@ -68,24 +69,71 @@ func (g *Genome) Clone() *Genome {
 	return ng
 }
 
-// Key returns a compact fingerprint used for duplicate suppression.
-func (g *Genome) Key() string {
-	buf := make([]byte, 0, len(g.Alloc)+len(g.Keep)+len(g.Genes)*8)
-	for _, b := range g.Alloc {
-		buf = append(buf, boolByte(b))
-	}
-	for _, b := range g.Keep {
-		buf = append(buf, boolByte(b))
-	}
-	for i := range g.Genes {
-		ge := &g.Genes[i]
-		buf = append(buf, byte(ge.Technique), byte(ge.K), byte(ge.Replicas),
-			byte(ge.Map), byte(ge.VoterMap))
-		for _, p := range ge.ReplicaMap {
-			buf = append(buf, byte(p))
+// Key128 is a 128-bit FNV-style genome fingerprint, the duplicate-
+// suppression key of the fitness cache. It replaces the former string
+// Key: building it allocates nothing (the string key copied the whole
+// chromosome per lookup), it is a comparable value usable directly as a
+// map key, and it mixes full-width words, where the byte-string key
+// silently truncated processor ids and degrees above 255.
+//
+// Unlike core's scenario dedup — which confirms fingerprint hits
+// against the stored vectors — the fitness cache trusts the
+// fingerprint: storing genomes for confirmation would pin every
+// evaluated chromosome in memory for the cache's lifetime. At 128 bits
+// over non-adversarial GA offspring, a colliding pair within one run is
+// vanishingly improbable.
+type Key128 struct{ Hi, Lo uint64 }
+
+// FNV-128 offset basis and prime (see internal/core's exec fingerprint
+// for the word-folding rationale: the hash only has to spread well).
+const (
+	key128BasisHi = 0x6c62272e07bb0142
+	key128BasisLo = 0x62b821756295c58d
+	key128PrimeHi = 1 << 24
+	key128PrimeLo = 0x13b
+)
+
+func (k Key128) mix(word uint64) Key128 {
+	k.Lo ^= word
+	// (Hi·2^64 + Lo) · (PrimeHi·2^64 + PrimeLo) mod 2^128.
+	carryHi, lo := bits.Mul64(k.Lo, key128PrimeLo)
+	hi := k.Hi*key128PrimeLo + k.Lo*key128PrimeHi + carryHi
+	return Key128{Hi: hi, Lo: lo}
+}
+
+// mixBits folds a bool section 64 entries per word. Section lengths are
+// mixed by the caller, so the zero-padding of the trailing partial word
+// is unambiguous.
+func (k Key128) mixBits(bs []bool) Key128 {
+	word, n := uint64(0), 0
+	for _, b := range bs {
+		word = word<<1 | uint64(boolByte(b))
+		if n++; n == 64 {
+			k = k.mix(word)
+			word, n = 0, 0
 		}
 	}
-	return string(buf)
+	if n > 0 {
+		k = k.mix(word)
+	}
+	return k
+}
+
+// Key128 fingerprints the full chromosome.
+func (g *Genome) Key128() Key128 {
+	k := Key128{Hi: key128BasisHi, Lo: key128BasisLo}
+	k = k.mix(uint64(len(g.Alloc))<<32 | uint64(uint32(len(g.Keep))))
+	k = k.mixBits(g.Alloc)
+	k = k.mixBits(g.Keep)
+	for i := range g.Genes {
+		ge := &g.Genes[i]
+		k = k.mix(uint64(ge.Technique)<<48 | uint64(uint16(ge.K))<<32 | uint64(uint32(ge.Replicas)))
+		k = k.mix(uint64(uint32(ge.Map))<<32 | uint64(uint32(ge.VoterMap)))
+		for _, p := range ge.ReplicaMap {
+			k = k.mix(uint64(uint32(p)))
+		}
+	}
+	return k
 }
 
 // ShapeKey fingerprints the genome's STRUCTURE — the keep/drop section

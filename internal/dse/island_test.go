@@ -99,6 +99,29 @@ func TestIslandOneMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestGoldenTrajectoryEngineIndependent re-checks the islands=1 golden
+// with the analysis engine pinned to each side of the Config.Compiled
+// switch: tinyProblem defaults to the compiled engine (core.NewConfig),
+// so the golden capture above already certifies it, and the pointer
+// engine must reproduce the identical trajectory — the GA's decisions
+// may not depend on which backend computed the WCRTs.
+func TestGoldenTrajectoryEngineIndependent(t *testing.T) {
+	opts := Options{PopSize: 16, Generations: 8, Seed: 3, Workers: 1}
+	var sigs [2]string
+	for i, compiled := range []bool{true, false} {
+		p := tinyProblem(t)
+		p.Analysis.Compiled = compiled
+		res, err := Optimize(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = trajectorySignature(res)
+	}
+	if sigs[0] != sigs[1] {
+		t.Errorf("trajectory depends on the analysis engine:\ncompiled %s\n pointer %s", sigs[0], sigs[1])
+	}
+}
+
 // archiveSignature flattens only the trajectory-determined parts of a
 // Result — multi-island runs share the fitness store, so cache counters
 // legitimately vary with goroutine interleaving, but the archives (and

@@ -106,38 +106,86 @@ func TestMemoizationTracksDroppingGain(t *testing.T) {
 }
 
 func TestFitnessCacheLRU(t *testing.T) {
+	// Capacity 2 is below the striping threshold, so the store is a
+	// single shard with exact global LRU semantics.
 	c := newFitnessCache(2)
+	ka, kb, kd := Key128{Lo: 1}, Key128{Lo: 2}, Key128{Lo: 3}
 	a, b, d := &Individual{Power: 1}, &Individual{Power: 2}, &Individual{Power: 3}
-	c.put("a", a)
-	c.put("b", b)
-	if got, ok := c.get("a"); !ok || got != a {
+	c.put(ka, a)
+	c.put(kb, b)
+	if got, ok := c.get(ka); !ok || got != a {
 		t.Fatal("expected to find a")
 	}
-	c.put("d", d) // evicts b (least recently used after the get above)
-	if _, ok := c.get("b"); ok {
+	c.put(kd, d) // evicts b (least recently used after the get above)
+	if _, ok := c.get(kb); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get(ka); !ok {
 		t.Fatal("a should have survived (recently used)")
 	}
-	if _, ok := c.get("d"); !ok {
+	if _, ok := c.get(kd); !ok {
 		t.Fatal("d should be present")
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
 	// Refreshing an existing key must not grow the cache.
-	c.put("a", &Individual{Power: 9})
+	c.put(ka, &Individual{Power: 9})
 	if c.len() != 2 {
 		t.Fatalf("len after refresh = %d, want 2", c.len())
 	}
-	if got, _ := c.get("a"); got.Power != 9 {
+	if got, _ := c.get(ka); got.Power != 9 {
 		t.Fatal("refresh did not replace the entry")
 	}
 }
 
-// TestCloneForIsolation guards the cached entries against selector-side
-// mutation: clones must not share mutable state.
+// TestFitnessStoreSharded covers the striped store: every shard runs
+// its own LRU over its slice of the capacity, lookups stay exact, and
+// the total size respects the configured bound (up to the ceiling-
+// division slack).
+func TestFitnessStoreSharded(t *testing.T) {
+	const capacity, shards = 64, 8
+	s := newFitnessStoreSharded(capacity, shards)
+	if len(s.shards) != shards {
+		t.Fatalf("shard count = %d, want %d", len(s.shards), shards)
+	}
+	// 4x overfill with keys spread over all shards via the low bits.
+	inds := make([]*Individual, 4*capacity)
+	for i := range inds {
+		inds[i] = &Individual{Power: float64(i)}
+		s.put(Key128{Hi: uint64(i), Lo: uint64(i)}, inds[i])
+	}
+	if got := s.size(); got != capacity {
+		t.Fatalf("size after overfill = %d, want %d", got, capacity)
+	}
+	// The per-shard LRU keeps each shard's most recent residents: the
+	// last capacity insertions hit every shard evenly (keys cycle
+	// through the low bits), so all of them must still resolve to the
+	// exact Individual stored.
+	for i := 3 * capacity; i < 4*capacity; i++ {
+		got, ok := s.get(Key128{Hi: uint64(i), Lo: uint64(i)})
+		if !ok || got != inds[i] {
+			t.Fatalf("key %d: got %v, want the stored individual", i, got)
+		}
+	}
+	// Evicted cold keys must miss.
+	if _, ok := s.get(Key128{Hi: 0, Lo: 0}); ok {
+		t.Fatal("oldest key survived a 4x overfill")
+	}
+	// The default constructor stripes large stores and keeps small ones
+	// single-sharded.
+	if got := len(newFitnessStore(4096).shards); got != fitnessShards {
+		t.Fatalf("default large store has %d shards, want %d", got, fitnessShards)
+	}
+	if got := len(newFitnessStore(8).shards); got != 1 {
+		t.Fatalf("small store has %d shards, want 1", got)
+	}
+}
+
+// TestCloneForIsolation pins cloneFor's sharing contract: the scalar
+// fields the selectors mutate (Fitness) must be per-clone, while the
+// immutable report views (GraphWCRT, Dropped — written only during
+// evaluation) are shared with the original instead of deep-copied.
 func TestCloneForIsolation(t *testing.T) {
 	orig := &Individual{
 		Power:     4.2,
@@ -151,9 +199,10 @@ func TestCloneForIsolation(t *testing.T) {
 		t.Fatal("clone not re-attributed")
 	}
 	cl.Fitness = 99
-	cl.GraphWCRT[0] = 77
-	cl.Dropped[0] = "y"
-	if orig.Fitness != 1 || orig.GraphWCRT[0] != 1 || orig.Dropped[0] != "x" {
-		t.Fatalf("clone mutation leaked into the original: %+v", orig)
+	if orig.Fitness != 1 {
+		t.Fatalf("Fitness mutation leaked into the original: %+v", orig)
+	}
+	if &cl.GraphWCRT[0] != &orig.GraphWCRT[0] || &cl.Dropped[0] != &orig.Dropped[0] {
+		t.Fatal("report views should be shared, not copied")
 	}
 }

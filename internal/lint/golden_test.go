@@ -120,6 +120,14 @@ func TestCacheWriteGolden(t *testing.T) {
 	runGolden(t, CacheWriteAnalyzer, "cachewrite", "mcmap/internal/core")
 }
 
+func TestCompiledWriteGolden(t *testing.T) {
+	runGolden(t, CompiledWriteAnalyzer, "compiledwrite", "mcmap/internal/sched")
+}
+
+func TestCompiledWriteSkipsOtherPackages(t *testing.T) {
+	runGoldenExpectNone(t, CompiledWriteAnalyzer, "compiledwrite", "mcmap/internal/dse")
+}
+
 // runGoldenExpectNone asserts the analyzer stays silent on the package
 // path (want comments are ignored).
 func runGoldenExpectNone(t *testing.T, a *Analyzer, dir, pkgPath string) {

@@ -87,6 +87,7 @@ func Analyzers() []*Analyzer {
 		GoSpawnAnalyzer,
 		SyncCopyAnalyzer,
 		CacheWriteAnalyzer,
+		CompiledWriteAnalyzer,
 	}
 }
 

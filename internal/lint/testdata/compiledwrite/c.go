@@ -1,0 +1,65 @@
+// Package compiledwrite is golden-test input for the compiledwrite
+// analyzer. It only needs to parse; it is never compiled.
+package compiledwrite
+
+type compiledSystem struct {
+	N       int
+	Order   []int32
+	Release []int64
+	InOff   []int32
+}
+
+// CompileSystem is the sanctioned compile step: populating the columns
+// here is the whole point.
+func CompileSystem(n int) *compiledSystem {
+	cs := &compiledSystem{N: n}
+	cs.Order = make([]int32, n)
+	for i := range cs.Order {
+		cs.Order[i] = int32(i)
+	}
+	cs.InOff[n] = 0
+	return cs
+}
+
+func directColumnWrite(cs *compiledSystem) {
+	cs.Order[0] = 1 // want `write to CompiledSystem column "Order"`
+}
+
+func wholeColumnReplace(cs *compiledSystem) {
+	cs.Release = nil // want `write to CompiledSystem column "Release"`
+}
+
+func scalarWrite(cs *compiledSystem) {
+	cs.N++ // want `write to CompiledSystem column "N"`
+}
+
+func throughAdapter(a *struct{ cs *compiledSystem }) {
+	a.cs.InOff[1] = 2 // want `write to CompiledSystem column "InOff"`
+}
+
+func aliasWrite(cs *compiledSystem) {
+	order := cs.Order
+	order[0] = 3 // want `aliases a CompiledSystem column`
+}
+
+func aliasRebindIsFine(cs *compiledSystem) {
+	order := cs.Order
+	order = append([]int32(nil), order...)
+	order[0] = 4
+	_ = order
+}
+
+func readsAreFine(cs *compiledSystem) int32 {
+	inOff := cs.InOff
+	return cs.Order[0] + inOff[cs.N]
+}
+
+func unrelatedReceiversAreFine(sc *struct{ Order []int32 }) {
+	// No compiled-system hint in the receiver chain: scratch state is
+	// exactly where per-pass mutation belongs.
+	sc.Order[0] = 5
+}
+
+func allowedWrite(cs *compiledSystem) {
+	cs.Order[0] = 6 //lint:allow compiledwrite the table is still private to this constructor helper
+}

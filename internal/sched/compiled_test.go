@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+)
+
+// requireSameResult compares every observable field of two results plus
+// the engine-internal warm snapshots: the compiled path promises
+// bit-identical analyses, not just equal verdicts. Iterations is the
+// documented exception (see sched.Result): it is a diagnostic sweep
+// count, and the compiled engine's restricted phase-D closures finish
+// in at most as many sweeps as the pointer path's full re-sweeps — so
+// it must stay positive and never exceed the pointer count.
+func requireSameResult(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	if got.Schedulable != want.Schedulable {
+		t.Fatalf("%s: schedulable = %v, want %v", ctx, got.Schedulable, want.Schedulable)
+	}
+	if got.Iterations > want.Iterations || (got.Iterations <= 0 && want.Iterations > 0) {
+		t.Fatalf("%s: iterations = %d, want in [1, %d]", ctx, got.Iterations, want.Iterations)
+	}
+	if !reflect.DeepEqual(got.Bounds, want.Bounds) {
+		t.Fatalf("%s: bounds differ:\n got %v\nwant %v", ctx, got.Bounds, want.Bounds)
+	}
+	if !reflect.DeepEqual(got.warm, want.warm) {
+		t.Fatalf("%s: warm state differs:\n got %+v\nwant %+v", ctx, got.warm, want.warm)
+	}
+}
+
+// checkCompiledAgainstPointer runs every perturbation through both
+// engines cold and requires identical results, then replays the
+// perturbations as warm starts through both incremental paths.
+func checkCompiledAgainstPointer(t *testing.T, sys *platform.System) {
+	t.Helper()
+	h := &Holistic{}
+	cs := h.CompiledFor(sys)
+	nominal := NominalExec(sys)
+	if got := cs.NominalExec(); !reflect.DeepEqual(got, nominal) {
+		t.Fatalf("compiled nominal exec differs:\n got %v\nwant %v", got, nominal)
+	}
+	baseP, err := h.Analyze(sys, nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseC, err := h.AnalyzeCompiled(cs, nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "nominal", baseC, baseP)
+
+	dirty := make([]bool, len(nominal))
+	for pi, exec := range perturbations(nominal) {
+		pointer, err := h.Analyze(sys, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := h.AnalyzeCompiled(cs, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "cold perturbation", compiled, pointer)
+
+		for i := range dirty {
+			dirty[i] = exec[i] != nominal[i]
+		}
+		warmP, err := h.AnalyzeFrom(sys, exec, baseP, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmC, err := h.AnalyzeCompiledFrom(cs, exec, baseC, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "warm perturbation", warmC, warmP)
+		// Cross-engine baselines: warm state is interchangeable, so a
+		// pointer baseline must warm-start the compiled path to the same
+		// fixed point (and vice versa).
+		crossC, err := h.AnalyzeCompiledFrom(cs, exec, baseP, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "cross-baseline compiled", crossC, warmP)
+		if pi > 4 {
+			continue // a few cross checks suffice; the loop above covers all
+		}
+		crossP, err := h.AnalyzeFrom(sys, exec, baseC, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(crossP.Bounds, pointer.Bounds) || crossP.Schedulable != pointer.Schedulable {
+			t.Fatalf("cross-baseline pointer warm start diverged (perturbation %d)", pi)
+		}
+	}
+}
+
+func TestCompiledMatchesPointer(t *testing.T) {
+	checkCompiledAgainstPointer(t, twoProcSystem(t, nil))
+}
+
+func TestCompiledMatchesPointerNonPreemptive(t *testing.T) {
+	checkCompiledAgainstPointer(t, twoProcSystem(t, func(a *model.Architecture) {
+		a.Procs[0].NonPreemptive = true
+	}))
+}
+
+func TestCompiledMatchesPointerMesh(t *testing.T) {
+	checkCompiledAgainstPointer(t, twoProcSystem(t, func(a *model.Architecture) {
+		a.Fabric.Kind = model.FabricMesh
+		a.Fabric.BaseLatency = 1
+	}))
+}
+
+// TestCompiledArbitratedDelegates: the compiled kernel does not model bus
+// arbitration, so shared-fabric systems must take the documented
+// delegation to the pointer path and still match it exactly.
+func TestCompiledArbitratedDelegates(t *testing.T) {
+	sys := twoProcSystem(t, func(a *model.Architecture) {
+		a.Fabric.Shared = true
+		a.Fabric.Bandwidth = 2
+		a.Fabric.BaseLatency = 1
+	})
+	if !sys.Arch.Fabric.Arbitrated() {
+		t.Fatal("fixture is not arbitrated")
+	}
+	checkCompiledAgainstPointer(t, sys)
+}
+
+// TestCompileSystemMatchesKernel pins the columnar peer segments against
+// the pointer kernel they lower: same sets, same per-node order.
+func TestCompileSystemMatchesKernel(t *testing.T) {
+	sys := twoProcSystem(t, func(a *model.Architecture) {
+		a.Procs[1].NonPreemptive = true
+	})
+	var kern holisticKernel
+	kern.build(sys)
+	cs := CompileSystem(sys)
+	seg := func(off, flat []int32, nid int) []platform.NodeID {
+		out := []platform.NodeID{}
+		for e := off[nid]; e < off[nid+1]; e++ {
+			out = append(out, platform.NodeID(flat[e]))
+		}
+		return out
+	}
+	asIDs := func(s []platform.NodeID) []platform.NodeID {
+		if s == nil {
+			return []platform.NodeID{}
+		}
+		return s
+	}
+	for nid := range sys.Nodes {
+		id := platform.NodeID(nid)
+		if got, want := seg(cs.InterfOff, cs.Interf, nid), asIDs(kern.interfSeg(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d interf = %v, want %v", nid, got, want)
+		}
+		if got, want := seg(cs.BlockOff, cs.Block, nid), asIDs(kern.blockSeg(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d block = %v, want %v", nid, got, want)
+		}
+		if got, want := seg(cs.DemandOff, cs.Demand, nid), asIDs(kern.demandSeg(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d demand = %v, want %v", nid, got, want)
+		}
+		if got, want := seg(cs.ReadersOff, cs.Readers, nid), asIDs(kern.readersSeg(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d readers = %v, want %v", nid, got, want)
+		}
+	}
+}
+
+// TestCompiledClosureMatchesPointer: the columnar dirty-closure expansion
+// must mark exactly the same affected set as the pointer kernel's.
+func TestCompiledClosureMatchesPointer(t *testing.T) {
+	sys := twoProcSystem(t, func(a *model.Architecture) {
+		a.Procs[0].NonPreemptive = true
+	})
+	var kern holisticKernel
+	kern.build(sys)
+	cs := CompileSystem(sys)
+	n := len(sys.Nodes)
+	for seed := 0; seed < n; seed++ {
+		dirty := make([]bool, n)
+		dirty[seed] = true
+		affP := make([]bool, n)
+		affC := make([]bool, n)
+		countP, _ := affectedClosure(&kern, dirty, affP, nil)
+		countC, _ := compiledClosure(cs, dirty, affC, nil)
+		if countP != countC || !reflect.DeepEqual(affP, affC) {
+			t.Fatalf("seed %d: closure %v (%d), want %v (%d)", seed, affC, countC, affP, countP)
+		}
+	}
+}
+
+// TestCompiledForCaches: repeated lookups of one system share one table;
+// distinct systems get distinct tables; the FIFO bound holds.
+func TestCompiledForCaches(t *testing.T) {
+	h := &Holistic{}
+	sysA := twoProcSystem(t, nil)
+	sysB := twoProcSystem(t, nil)
+	csA := h.CompiledFor(sysA)
+	if h.CompiledFor(sysA) != csA {
+		t.Fatal("second lookup recompiled the same system")
+	}
+	if h.CompiledFor(sysB) == csA {
+		t.Fatal("distinct systems share a compiled table")
+	}
+	if csA.Sys != sysA {
+		t.Fatal("compiled table does not pin its source system")
+	}
+	for i := 0; i < 3*compiledTablesCap; i++ {
+		h.CompiledFor(twoProcSystem(t, nil))
+	}
+	h.compiled.mu.Lock()
+	entries, fifo := len(h.compiled.m), len(h.compiled.fifo)
+	h.compiled.mu.Unlock()
+	if entries > compiledTablesCap || fifo > compiledTablesCap {
+		t.Fatalf("cache exceeded bound: %d entries, %d fifo", entries, fifo)
+	}
+}

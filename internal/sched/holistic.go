@@ -53,6 +53,11 @@ type Holistic struct {
 	// under allocation-heavy scenario fan-outs that turned kernel
 	// rebuilding into a measurable fraction of the analysis itself.
 	scratch scratchFreelist
+
+	// compiled caches columnar system lowerings for the compiled kernel
+	// (see compiled.go); cscratch pools its per-call working sets.
+	compiled compiledTables
+	cscratch compiledFreelist
 }
 
 // scratchFreelist is a mutex-guarded stack of scratches. Get/Put critical

@@ -95,6 +95,20 @@ type IncrementalAnalyzer interface {
 	AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error)
 }
 
+// LeafAnalyzer is an optional refinement of IncrementalAnalyzer for
+// engines that can skip materializing the internal warm-start snapshot
+// when the caller will never use the produced Result as a baseline for
+// further warm starts (a "leaf" analysis — e.g. the per-scenario
+// invocations of Algorithm 1, which all warm from the one shared
+// reference). AnalyzeFromLeaf returns exactly what AnalyzeFrom would —
+// same Bounds, same Schedulable — but the Result may lack the snapshot,
+// so feeding it back as a baseline degrades warm starts to cold runs
+// (still correct: engines fall back on snapshot-less baselines).
+type LeafAnalyzer interface {
+	IncrementalAnalyzer
+	AnalyzeFromLeaf(sys *platform.System, exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error)
+}
+
 // ConcurrentAnalyzer is an optional extension implemented by backends
 // whose Analyze method is safe for concurrent use on one shared instance.
 // core.Analyze fans scenario analyses out over workers only when the

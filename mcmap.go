@@ -45,6 +45,7 @@ import (
 	"mcmap/internal/platform"
 	"mcmap/internal/power"
 	"mcmap/internal/reliability"
+	"mcmap/internal/sched"
 	"mcmap/internal/sim"
 	"mcmap/internal/validate"
 )
@@ -214,6 +215,12 @@ type (
 	AnalysisConfig = core.Config
 	// Estimator is a WCRT estimation method (Proposed/Naive/Adhoc/WC-Sim).
 	Estimator = core.Estimator
+	// ExecBounds is a per-job execution-time interval (the [bcet', wcet']
+	// of Algorithm 1), the unit of AnalyzeBatch's candidate vectors.
+	ExecBounds = sched.ExecBounds
+	// SchedResult is one raw schedulability-analysis result (per-job
+	// bounds and verdict), as returned by AnalyzeBatch.
+	SchedResult = sched.Result
 )
 
 // Compile builds the analyzable/executable system from an architecture,
@@ -244,6 +251,19 @@ func NewAnalysisConfig() AnalysisConfig { return core.NewConfig() }
 // AnalyzeWCRTWith is AnalyzeWCRT with an explicit configuration.
 func AnalyzeWCRTWith(sys *System, dropped DropSet, cfg AnalysisConfig) (*Report, error) {
 	return core.Analyze(sys, dropped, cfg)
+}
+
+// AnalyzeBatch evaluates many candidate execution-interval vectors
+// against one compiled system in a single call: the system is lowered
+// once into the compiled engine's columnar tables, the first vector is
+// analyzed cold and every further vector warm-starts from it, with
+// evaluations fanning out over cfg.Workers. results[i] matches an
+// independent analysis of execs[i] exactly (only the Iterations
+// diagnostic may differ). Use it to sweep execution-bound hypotheses —
+// sensitivity scans, portfolio re-validation — over a fixed mapping;
+// see DESIGN.md §7.8.
+func AnalyzeBatch(sys *System, execs [][]ExecBounds, cfg AnalysisConfig) ([]*SchedResult, error) {
+	return core.AnalyzeBatch(sys, execs, cfg)
 }
 
 // TaskSlack is the per-task WCET headroom record of Sensitivity.
