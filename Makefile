@@ -7,7 +7,9 @@ BENCHCOUNT ?= 3
 BENCHOUT   ?= BENCH_core.json
 FUZZTIME   ?= 20s
 
-.PHONY: build test test-race lint fuzz bench benchguard clean
+PROFDIR    ?= profiles
+
+.PHONY: build test test-race lint fuzz bench benchguard profile clean
 
 build:
 	$(GO) build ./...
@@ -49,13 +51,40 @@ bench:
 	@echo "wrote $(BENCHOUT)"
 
 # benchguard re-measures the guarded benchmarks and fails when the hot
-# kernels regressed >15% against the committed $(BENCHOUT) baseline
-# (same gate CI runs; see .github/workflows/ci.yml).
+# kernels regressed >15% against the committed $(BENCHOUT) baseline, or
+# when the parallel variants stop scaling: the -ratio assertions are
+# evaluated WITHIN the fresh run (machine speed cancels out). The
+# workers gate reads the w8_over_w1 metric, which the benchmark
+# computes by interleaving both widths in one timing window (immune to
+# the minute-scale machine-speed drift that separately-timed pairs
+# absorb): workers=8 must stay within 10% of workers=1 even on a
+# single-core host (the fan-out clamps to the schedulable
+# parallelism). The island gate compares islands=4 against running the
+# same four trajectories sequentially — within 30%. Same gate CI runs;
+# see .github/workflows/ci.yml.
 benchguard:
-	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkIslandDSE|BenchmarkSPEA2Select' -count 3 -json . > bench_current.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkAnalyzeParallel|BenchmarkIslandDSE|BenchmarkSPEA2Select' -count 3 -json . > bench_current.json
 	$(GO) run ./cmd/benchguard -baseline $(BENCHOUT) -current bench_current.json \
-		-threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkIslandDSE|BenchmarkSPEA2Select'
+		-threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkIslandDSE/islands=1|BenchmarkSPEA2Select' \
+		-ratio 'BenchmarkAnalyzeParallel/tasks=162/scenarios=15/workers=8vs1:w8_over_w1<=1.10,BenchmarkIslandDSE/islands=4<=1.30*BenchmarkIslandDSE/islands=1'
 	@rm -f bench_current.json
+
+# profile captures cpu, mutex and block profiles of the two
+# parallel-scaling benchmarks (the scenario fan-out and the island-model
+# GA) for contention hunting: the mutex and block profiles show where
+# fan-out workers serialize (freelists, cache shards, pool semaphore),
+# the cpu profile where the cycles go. Inspect with
+#   go tool pprof $(PROFDIR)/bench.test $(PROFDIR)/analyze_mutex.out
+profile:
+	@mkdir -p $(PROFDIR)
+	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeParallel' -o $(PROFDIR)/bench.test \
+		-cpuprofile $(PROFDIR)/analyze_cpu.out -mutexprofile $(PROFDIR)/analyze_mutex.out \
+		-blockprofile $(PROFDIR)/analyze_block.out .
+	$(GO) test -run '^$$' -bench 'BenchmarkIslandDSE' -o $(PROFDIR)/bench.test \
+		-cpuprofile $(PROFDIR)/island_cpu.out -mutexprofile $(PROFDIR)/island_mutex.out \
+		-blockprofile $(PROFDIR)/island_block.out .
+	@echo "profiles written to $(PROFDIR)/"
 
 clean:
 	rm -f $(BENCHOUT) bench.txt bench_current.json cpu.out mem.out
+	rm -rf $(PROFDIR)

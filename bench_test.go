@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"mcmap"
 	"mcmap/internal/benchmarks"
@@ -284,13 +285,23 @@ func BenchmarkAlgorithm1Scaling(b *testing.B) {
 
 // BenchmarkAnalyzeParallel measures the parallel scenario fan-out of
 // Algorithm 1 at growing worker counts, across systems with growing
-// scenario sets: DT-large (a few dozen deduplicated scenarios) and a
-// wide synthetic whose scenario count is several times larger, where
-// the fan-out has enough grain to amortize helper goroutines (see the
-// warmJobsPerWorker clamp in internal/core). Workers=1 is the
+// scenario sets: DT-large (a few dozen deduplicated scenarios), a wide
+// synthetic whose scenario count is several times larger, and a
+// 64-task fixture whose per-scenario cost gives the fan-out maximal
+// grain (the measured-cost heuristic in internal/core sizes chunks off
+// job 0's observed runtime, so both the many-cheap-jobs and the
+// few-expensive-jobs regimes need coverage). Workers=1 is the
 // sequential engine; the output Report is identical at every setting
 // (see TestParallelAnalyzeEquivalence), so this is a pure wall-clock
-// comparison. Speedups require GOMAXPROCS >= workers.
+// comparison. Every workers>1 variant reports a `speedup` metric
+// against the workers=1 run of the same system (informational — the
+// two windows are minutes apart, so machine drift contaminates it);
+// the workers=8vs1 variant interleaves both widths in one window and
+// reports the drift-immune `w8_over_w1` ratio the benchguard scaling
+// gate asserts on: ratios below 1 require GOMAXPROCS >= workers, but
+// the ratio must never rise meaningfully above 1 — the fan-out clamps
+// its width to the schedulable parallelism, so oversubscribed widths
+// collapse to the sequential path instead of paying for idle helpers.
 func BenchmarkAnalyzeParallel(b *testing.B) {
 	type system struct {
 		sys     *platform.System
@@ -314,6 +325,17 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	systems = append(systems, system{wsys, wdropped})
+	deep := benchmarks.Synth(benchmarks.SynthConfig{
+		Name: "parallel-64", Procs: 4,
+		CriticalApps: 2, DroppableApps: 2,
+		MinTasks: 16, MaxTasks: 16,
+		Seed: 7,
+	})
+	dsys, ddropped, err := deep.CompiledSample(benchmarks.MapLoadBalance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	systems = append(systems, system{dsys, ddropped})
 	for _, s := range systems {
 		// The scenario count is a property of the system + config, not the
 		// worker count: read it off one probe report so the sub-benchmark
@@ -322,8 +344,10 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		tasks := len(s.sys.Nodes)
+		seqPerOp := 0.0
 		for _, w := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("scenarios=%d/workers=%d", probe.ScenariosAnalyzed, w), func(b *testing.B) {
+			b.Run(fmt.Sprintf("tasks=%d/scenarios=%d/workers=%d", tasks, probe.ScenariosAnalyzed, w), func(b *testing.B) {
 				cfg := core.NewConfig()
 				cfg.Workers = w
 				b.ResetTimer()
@@ -332,8 +356,45 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if w == 1 {
+					seqPerOp = perOp
+				}
+				if seqPerOp > 0 {
+					b.ReportMetric(seqPerOp/perOp, "speedup")
+				}
 			})
 		}
+		// The per-width variants above are measured minutes apart, so
+		// their pair ratio absorbs any machine-speed drift between the
+		// windows (shared runners oscillate tens of percent on that
+		// timescale). The scaling GATE therefore runs both widths
+		// interleaved inside one timing window — each iteration times a
+		// sequential run and a width-8 run back to back — and reports
+		// their ratio as the w8_over_w1 metric, which is what benchguard
+		// asserts on: drift hits both halves of every iteration equally
+		// and cancels out of the quotient.
+		b.Run(fmt.Sprintf("tasks=%d/scenarios=%d/workers=8vs1", tasks, probe.ScenariosAnalyzed), func(b *testing.B) {
+			cfgSeq := core.NewConfig()
+			cfgSeq.Workers = 1
+			cfgPar := core.NewConfig()
+			cfgPar.Workers = 8
+			var seqNs, parNs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, err := core.Analyze(s.sys, s.dropped, cfgSeq); err != nil {
+					b.Fatal(err)
+				}
+				t1 := time.Now()
+				if _, err := core.Analyze(s.sys, s.dropped, cfgPar); err != nil {
+					b.Fatal(err)
+				}
+				seqNs += t1.Sub(t0).Nanoseconds()
+				parNs += time.Since(t1).Nanoseconds()
+			}
+			b.ReportMetric(float64(parNs)/float64(seqNs), "w8_over_w1")
+		})
 	}
 }
 
@@ -476,35 +537,70 @@ func BenchmarkDSEMemoization(b *testing.B) {
 	}
 }
 
-// BenchmarkIslandDSE measures the island-model GA at equal total work:
-// at K islands each island runs totalGens/K generations, so every
-// variant performs the same number of generation steps overall. On a
-// multi-core host the islands=2/4 variants overlap those steps on the
-// shared worker pool; on one core they quantify the coordination
-// overhead of the island machinery instead.
+// BenchmarkIslandDSE measures the island-model machinery at IDENTICAL
+// work: islands=1 runs the four island trajectories of seed 1 (their
+// derived seeds via dse.IslandSeeds) back to back through the plain
+// single-trajectory engine, and islands=4 runs the same four
+// trajectories concurrently through the island orchestrator with
+// migration disabled (interval past the horizon), so both variants
+// evaluate byte-identical candidate sequences and differ only in the
+// coordination layer — goroutines, pool arbitration, barrier
+// snapshots, final merge. Their ratio is the scaling gate benchguard
+// asserts on (islands=4 within 1.3x of islands=1): on one core it is
+// pure orchestration overhead, on a multi-core host it drops below 1
+// as the islands overlap. The islands=4/migrate variant adds ring
+// migration every 3 generations; its trajectories diverge after the
+// first exchange, so it is informational, not gated. Both caches are
+// disabled throughout: with memoization on, the measured ratio mixed
+// the orchestration cost with each trajectory's hit rate, and a
+// convergence change could masquerade as a scaling regression.
 func BenchmarkIslandDSE(b *testing.B) {
 	bench := benchmarks.DTMed()
 	p, err := dse.NewProblem(bench.Arch, bench.Apps)
 	if err != nil {
 		b.Fatal(err)
 	}
-	const totalGens = 12
+	const gens = 6
+	base := dse.Options{PopSize: 24, Generations: gens,
+		FitnessCacheSize: -1, StructuralCacheSize: -1}
+	seeds := dse.IslandSeeds(1, 4)
 	// Untimed steady-state warmup, as in BenchmarkDSEMemoization.
-	if _, err := dse.Optimize(p, dse.Options{PopSize: 24, Generations: totalGens, Seed: 1}); err != nil {
+	if _, err := dse.Optimize(p, dse.Options{PopSize: 24, Generations: gens, Seed: 1}); err != nil {
 		b.Fatal(err)
 	}
-	for _, k := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("islands=%d", k), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := dse.Optimize(p, dse.Options{
-					PopSize: 24, Generations: totalGens / k, Seed: 1,
-					Islands: k, MigrationInterval: 4,
-				}); err != nil {
+	b.Run("islands=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range seeds {
+				opts := base
+				opts.Seed = s
+				if _, err := dse.Optimize(p, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
-		})
-	}
+		}
+	})
+	b.Run("islands=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := base
+			opts.Seed = 1
+			opts.Islands = 4
+			opts.MigrationInterval = gens + 1
+			if _, err := dse.Optimize(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("islands=4/migrate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := base
+			opts.Seed = 1
+			opts.Islands = 4
+			opts.MigrationInterval = 3
+			if _, err := dse.Optimize(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSPEA2Select measures the selection kernel alone — strength/

@@ -16,6 +16,15 @@ import (
 )
 
 func main() {
+	// Distributed-island workers re-exec this binary with the marker
+	// environment variable set; they must become protocol servers on
+	// stdin/stdout before any flag parsing or validation runs.
+	if os.Getenv(dse.IslandWorkerEnv) == "1" {
+		if err := dse.RunIslandWorker(os.Stdin, os.Stdout); err != nil {
+			log.Fatal("island worker: ", err)
+		}
+		return
+	}
 	bench := flag.String("bench", "", "bundled benchmark name ("+strings.Join(mcmap.BenchmarkNames(), ", ")+")")
 	spec := flag.String("spec", "", "JSON problem spec (architecture + apps); alternative to -bench")
 	check := flag.Bool("check", false, "validate the instance and exit (non-zero when Error diagnostics are found); no optimization runs")
@@ -25,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker budget shared by GA fitness evaluation and scenario analysis (0 = GOMAXPROCS)")
 	islands := flag.Int("islands", 1, "concurrent GA islands sharing the worker budget and caches (1 = the classic single trajectory; per-island seeds derive from -seed)")
 	migrationInterval := flag.Int("migration-interval", 10, "generations between Pareto-elite ring migrations (multi-island runs)")
+	islandProcs := flag.Bool("island-procs", false, "run each island in its own child process (multicore scaling past the shared Go heap); archives are byte-identical to the in-process mode")
 	noDrop := flag.Bool("nodrop", false, "disable task dropping (T_d always empty)")
 	track := flag.Bool("track", false, "track the dropping-rescue ratio (doubles analysis cost)")
 	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
@@ -88,7 +98,7 @@ func main() {
 	}
 	res, err := mcmap.Optimize(p, mcmap.DSEOptions{
 		PopSize: *pop, Generations: *gens, Seed: *seed, Workers: *workers,
-		Islands: *islands, MigrationInterval: *migrationInterval,
+		Islands: *islands, MigrationInterval: *migrationInterval, Distributed: *islandProcs,
 		DisableDropping: *noDrop, TrackDroppingGain: *track, PruneDominated: *prune,
 		DisableCompiled: !*compiled,
 	})

@@ -66,8 +66,20 @@ func (a *compiledAdapter) AnalyzeFromLeaf(sys *platform.System, exec []sched.Exe
 	return a.h.AnalyzeCompiledFromLeaf(a.cs, exec, baseline, dirty)
 }
 
+// OpenSession implements sched.SessionAnalyzer: sessions on the bound
+// system route through the compiled kernel with pinned scratch; foreign
+// systems get a plain pointer-path session, mirroring the defensive
+// fallthrough of the per-call entry points.
+func (a *compiledAdapter) OpenSession(sys *platform.System) *sched.Session {
+	if sys == a.cs.Sys {
+		return a.h.OpenCompiledSession(a.cs)
+	}
+	return a.h.OpenSession(sys)
+}
+
 var (
 	_ sched.IncrementalAnalyzer = (*compiledAdapter)(nil)
 	_ sched.LeafAnalyzer        = (*compiledAdapter)(nil)
 	_ sched.ConcurrentAnalyzer  = (*compiledAdapter)(nil)
+	_ sched.SessionAnalyzer     = (*compiledAdapter)(nil)
 )

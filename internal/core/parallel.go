@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcmap/internal/platform"
 	"mcmap/internal/sched"
@@ -17,14 +19,22 @@ type scenarioJob struct {
 	exec []sched.ExecBounds
 }
 
-// warmJobsPerWorker and coldJobsPerWorker set the minimum number of
-// scenario jobs that justifies one additional worker goroutine (the
-// fan-out clamp in analyzeScenarios). Tuned on the dt benchmarks: below
-// these grains the parallel run is slower than the sequential one.
-const (
-	warmJobsPerWorker = 32
-	coldJobsPerWorker = 8
-)
+// helperCostBudget is the minimum amount of measured analysis work that
+// justifies one extra fan-out worker: submission, result hand-off and
+// cross-core cache traffic cost a few microseconds per helper, so a
+// helper that cannot absorb at least this much work makes the run
+// slower. The per-job cost is measured, not guessed — job 0 runs inline
+// under a timer and its cost scales the fan-out width and chunk grain
+// for the rest of the batch (warm-started jobs converge in a few
+// microseconds, cold ones are an order of magnitude heavier; a static
+// grain is wrong for one of them on every fixture).
+const helperCostBudget = 40 * time.Microsecond
+
+// chunksPerWorker balances claim overhead against load balance: each
+// worker claims its share of the remaining jobs in about this many
+// chunks, so stragglers can steal from a slow worker while cheap jobs
+// still amortize the shared-cursor atomics.
+const chunksPerWorker = 4
 
 // incrementalBase bundles what a warm-started scenario analysis needs:
 // the incremental backend, the fault-free baseline result, and the
@@ -42,21 +52,54 @@ type incrementalBase struct {
 	leaf sched.LeafAnalyzer
 }
 
-// analyzeJob runs one scenario's backend invocation, warm-starting from
-// the baseline when available. dirty is a caller-owned scratch slice
-// (len == nodes) that is rewritten on every call; each worker passes its
-// own, so the diff allocates nothing per scenario.
-func analyzeJob(analyzer sched.Analyzer, sys *platform.System, job *scenarioJob, base *incrementalBase, dirty []bool) (*sched.Result, error) {
-	if base == nil {
-		return analyzer.Analyze(sys, job.exec)
+// jobRunner is one worker's analysis context: a pinned backend session
+// when the analyzer supports it (per-worker scratch arena, no freelist
+// mutex on the per-job path) and the worker-owned dirty vector for
+// warm-start diffs. Not safe for concurrent use; each worker owns one.
+type jobRunner struct {
+	analyzer sched.Analyzer
+	sys      *platform.System
+	base     *incrementalBase
+	ses      *sched.Session
+	dirty    []bool
+}
+
+func newJobRunner(analyzer sched.Analyzer, sys *platform.System, base *incrementalBase) *jobRunner {
+	r := &jobRunner{analyzer: analyzer, sys: sys, base: base}
+	if sa, ok := analyzer.(sched.SessionAnalyzer); ok {
+		r.ses = sa.OpenSession(sys)
 	}
-	for i := range dirty {
-		dirty[i] = job.exec[i] != base.exec[i]
+	if base != nil {
+		r.dirty = make([]bool, len(sys.Nodes))
 	}
-	if base.leaf != nil {
-		return base.leaf.AnalyzeFromLeaf(sys, job.exec, base.result, dirty)
+	return r
+}
+
+func (r *jobRunner) close() { r.ses.Close() }
+
+// run executes one scenario's backend invocation, warm-starting from
+// the baseline when available. Session and session-free paths produce
+// byte-identical results; the session merely owns the scratch.
+func (r *jobRunner) run(job *scenarioJob) (*sched.Result, error) {
+	if r.base == nil {
+		if r.ses != nil {
+			return r.ses.Analyze(job.exec)
+		}
+		return r.analyzer.Analyze(r.sys, job.exec)
 	}
-	return base.analyzer.AnalyzeFrom(sys, job.exec, base.result, dirty)
+	for i := range r.dirty {
+		r.dirty[i] = job.exec[i] != r.base.exec[i]
+	}
+	if r.ses != nil {
+		if r.base.leaf != nil {
+			return r.ses.AnalyzeFromLeaf(job.exec, r.base.result, r.dirty)
+		}
+		return r.ses.AnalyzeFrom(job.exec, r.base.result, r.dirty)
+	}
+	if r.base.leaf != nil {
+		return r.base.leaf.AnalyzeFromLeaf(r.sys, job.exec, r.base.result, r.dirty)
+	}
+	return r.base.analyzer.AnalyzeFrom(r.sys, job.exec, r.base.result, r.dirty)
 }
 
 // analyzeScenarios runs the backend over every job, fanning out over
@@ -71,25 +114,21 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	// Clamp the fan-out to the work grain: a warm-started job converges in
-	// a few microseconds against its baseline, so helper-goroutine startup
-	// and cross-core cache traffic outweigh the parallelism unless every
-	// worker gets a meaningful run of jobs. Cold jobs are roughly an order
-	// of magnitude heavier, so they justify helpers sooner.
-	grain := coldJobsPerWorker
-	if base != nil {
-		grain = warmJobsPerWorker
+	// More workers than schedulable threads cannot run concurrently:
+	// they only add claim contention and submission overhead. On a
+	// single-threaded runtime every width collapses to the sequential
+	// path — byte-identical results either way.
+	if gmp := runtime.GOMAXPROCS(0); workers > gmp {
+		workers = gmp
 	}
-	if max := 1 + (len(jobs)-1)/grain; workers > max {
-		workers = max
+	if cfg.Pool != nil && workers > cfg.Pool.Cap() {
+		workers = cfg.Pool.Cap()
 	}
-	if workers <= 1 {
-		var dirty []bool
-		if base != nil {
-			dirty = make([]bool, len(sys.Nodes))
-		}
+	if workers <= 1 || len(jobs) < 2 {
+		r := newJobRunner(analyzer, sys, base)
+		defer r.close()
 		for i := range jobs {
-			res, err := analyzeJob(analyzer, sys, &jobs[i], base, dirty)
+			res, err := r.run(&jobs[i])
 			if err != nil {
 				return nil, err
 			}
@@ -99,50 +138,88 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 	}
 
 	errs := make([]error, len(jobs))
-	var next atomic.Int64
-	work := func() {
-		var dirty []bool
-		if base != nil {
-			dirty = make([]bool, len(sys.Nodes))
-		}
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(jobs) {
-				return
-			}
-			results[i], errs[i] = analyzeJob(analyzer, sys, &jobs[i], base, dirty)
-		}
-	}
-
-	// The calling goroutine always participates: under a shared Pool it
-	// already owns its budget slot, so extra helpers are spawned only
-	// while spare budget exists (TryAcquire, never a blocking Acquire —
-	// see workpool's nesting protocol). Helpers run under the caller's
-	// pprof labels (Config.ProfCtx) plus phase=analyze, so profiles
-	// attribute scenario work to the right island and phase.
 	profCtx := cfg.ProfCtx
 	if profCtx == nil {
 		profCtx = context.Background()
 	}
-	var wg sync.WaitGroup
-	for k := 0; k < workers-1; k++ {
-		if cfg.Pool != nil && !cfg.Pool.TryAcquire() {
-			break
-		}
-		wg.Add(1)
-		//lint:allow gospawn helper spawned only after TryAcquire granted a pool slot; inline fallback otherwise
-		go func() {
-			defer wg.Done()
-			if cfg.Pool != nil {
-				defer cfg.Pool.Release()
-			}
-			pprof.Do(profCtx, pprof.Labels("phase", "analyze"), func(context.Context) {
-				work()
-			})
-		}()
+
+	// Job 0 runs inline under a timer: its measured cost decides how
+	// many helpers the remaining jobs can keep busy, and the chunk
+	// grain each claim should carry. Timing steers only the schedule,
+	// never the results, so determinism of Reports is unaffected.
+	r0 := newJobRunner(analyzer, sys, base)
+	start := time.Now() //lint:allow determinism measured per-job cost steers fan-out width only, results are schedule-independent
+	results[0], errs[0] = r0.run(&jobs[0])
+	cost := time.Since(start) //lint:allow determinism see above
+	r0.close()
+
+	rem := len(jobs) - 1
+	helpers := workers - 1
+	if est := cost * time.Duration(rem); est < helperCostBudget*time.Duration(helpers) {
+		helpers = int(est / helperCostBudget)
 	}
-	work()
-	wg.Wait()
+	chunk := rem / ((helpers + 1) * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	var next atomic.Int64
+	next.Store(1)
+	claim := func() (int, int, bool) {
+		lo := int(next.Add(int64(chunk))) - chunk
+		if lo >= len(jobs) {
+			return 0, 0, false
+		}
+		hi := lo + chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		return lo, hi, true
+	}
+	// work claims chunks off the shared cursor until none remain. It
+	// opens its session only after securing a first chunk, so a late
+	// helper draining an exhausted cursor (the workpool.FanOut
+	// contract) costs nothing. Helpers run under the caller's pprof
+	// labels (Config.ProfCtx) plus phase=analyze, so profiles attribute
+	// scenario work to the right island and phase.
+	work := func() {
+		lo, hi, ok := claim()
+		if !ok {
+			return
+		}
+		pprof.Do(profCtx, pprof.Labels("phase", "analyze"), func(context.Context) {
+			r := newJobRunner(analyzer, sys, base)
+			defer r.close()
+			for {
+				for i := lo; i < hi; i++ {
+					results[i], errs[i] = r.run(&jobs[i])
+				}
+				if lo, hi, ok = claim(); !ok {
+					return
+				}
+			}
+		})
+	}
+
+	if cfg.Pool != nil {
+		// Persistent pool workers; the caller participates inline and
+		// FanOut's active-counter wait covers exactly the helpers that
+		// started (claimed work), so queued-but-unstarted helpers never
+		// stall the join.
+		cfg.Pool.FanOut(helpers+1, work)
+	} else {
+		var wg sync.WaitGroup
+		for k := 0; k < helpers; k++ {
+			wg.Add(1)
+			//lint:allow gospawn transient fan-out helpers when no shared pool is configured (bench/test paths)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	}
 
 	for _, err := range errs {
 		if err != nil {

@@ -38,7 +38,7 @@ func TestParallelAnalyzeEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				for _, w := range []int{2, 8} {
+				for _, w := range []int{2, 4, 8} {
 					cfg := seq
 					cfg.Workers = w
 					got, err := core.Analyze(sys, dropped, cfg)

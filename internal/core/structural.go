@@ -67,6 +67,13 @@ import (
 type StructuralCache struct {
 	mask   uint64 // len(shards) - 1; shard count is a power of two
 	shards []structShard
+	// snap is an optional read-only fallback consulted when the owned
+	// shards miss: multi-island runs give each island a private cache
+	// and merge them into a shared snapshot at migration barriers, so
+	// the hot lookup path never contends across islands while sibling
+	// structures still propagate epoch by epoch. Written only between
+	// epochs (SetSnapshot), read concurrently within one.
+	snap *StructSnapshot
 }
 
 type structShard struct {
@@ -138,16 +145,23 @@ func NewStructuralCache(capacity int) *StructuralCache {
 }
 
 // lookup returns the cached entry for key, refreshing its recency.
+// Misses fall back to the read-only snapshot (no recency update —
+// snapshot entries age out when no private cache retains them).
 func (c *StructuralCache) lookup(key string) *structEntry {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	el, ok := sh.byKey[key]
 	if !ok {
+		sh.mu.Unlock()
+		if c.snap != nil {
+			return c.snap.entries[key]
+		}
 		return nil
 	}
 	sh.ll.MoveToFront(el)
-	return el.Value.(*structEntry)
+	e := el.Value.(*structEntry)
+	sh.mu.Unlock()
+	return e
 }
 
 // store inserts an entry unless the key is already present (first entry
@@ -167,6 +181,44 @@ func (c *StructuralCache) store(e *structEntry) {
 		delete(sh.byKey, oldest.Value.(*structEntry).key)
 	}
 }
+
+// StructSnapshot is a read-only union of structural caches. A
+// multi-island run builds one at every migration barrier from the
+// islands' private caches and installs it on each of them, so sibling
+// structures propagate across islands without the hot lookup path ever
+// taking a cross-island lock. Entries are immutable; the snapshot map
+// is never written after Export completes.
+type StructSnapshot struct {
+	entries map[string]*structEntry
+}
+
+// NewStructSnapshot returns an empty snapshot ready for ExportTo.
+func NewStructSnapshot() *StructSnapshot {
+	return &StructSnapshot{entries: make(map[string]*structEntry)}
+}
+
+// ExportTo folds c's owned entries into snap. Duplicate structures keep
+// the first exported entry — any converged baseline for a structure
+// serves equally (the same argument that makes store first-entry-wins),
+// so callers merging islands in slot order get a deterministic union.
+func (c *StructuralCache) ExportTo(snap *StructSnapshot) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*structEntry)
+			if _, ok := snap.entries[e.key]; !ok {
+				snap.entries[e.key] = e
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// SetSnapshot installs the read-only miss fallback. Call only while no
+// analysis using c is in flight (island runs call it at migration
+// barriers, where every island goroutine has joined).
+func (c *StructuralCache) SetSnapshot(snap *StructSnapshot) { c.snap = snap }
 
 // Len reports the number of cached structures.
 func (c *StructuralCache) Len() int {

@@ -118,6 +118,25 @@ func (s *fitnessStore) put(key Key128, ind *Individual) {
 	}
 }
 
+// appendTo folds the store's entries into m, first entry wins. The
+// traversal is deterministic (shard order, then per-shard recency
+// order), and evaluation is pure per genome, so duplicate keys across
+// stores carry interchangeable values either way. Used by the island
+// coordinator to build cross-island snapshots at migration barriers.
+func (s *fitnessStore) appendTo(m map[Key128]*Individual) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for el := sh.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			if _, ok := m[e.key]; !ok {
+				m[e.key] = e.ind
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 func (s *fitnessStore) size() int {
 	total := 0
 	for i := range s.shards {
@@ -145,6 +164,15 @@ func (s *fitnessStore) size() int {
 // trajectory is as deterministic as the hit trajectory.
 type fitnessCache struct {
 	store *fitnessStore
+
+	// snap is the read-only cross-island snapshot consulted when the
+	// store misses: multi-island runs give each island a private store
+	// and merge them into one snapshot at migration barriers (see
+	// shareCaches), so lookups and fills never contend across islands
+	// and every island's hit/miss trajectory is deterministic. nil for
+	// single-island runs, which keep the one shared store. Written only
+	// at barriers, read concurrently within a leg.
+	snap map[Key128]*Individual
 
 	// rates holds the hit rates of the most recent non-bypassed
 	// generations (at most bypassWindow); bypassLeft counts remaining
@@ -175,9 +203,17 @@ func (c *fitnessCache) islandView() *fitnessCache {
 	return &fitnessCache{store: c.store}
 }
 
-func (c *fitnessCache) get(key Key128) (*Individual, bool) { return c.store.get(key) }
-func (c *fitnessCache) put(key Key128, ind *Individual)    { c.store.put(key, ind) }
-func (c *fitnessCache) len() int                           { return c.store.size() }
+func (c *fitnessCache) get(key Key128) (*Individual, bool) {
+	if ind, ok := c.store.get(key); ok {
+		return ind, true
+	}
+	if ind, ok := c.snap[key]; ok {
+		return ind, true
+	}
+	return nil, false
+}
+func (c *fitnessCache) put(key Key128, ind *Individual) { c.store.put(key, ind) }
+func (c *fitnessCache) len() int                        { return c.store.size() }
 
 // bypassed reports whether the current generation should skip the cache.
 func (c *fitnessCache) bypassed() bool { return c.bypassLeft > 0 }

@@ -1,0 +1,524 @@
+package dse
+
+// This file implements the multi-process island mode: each island of a
+// distributed run lives in its own child process (a re-exec of the
+// current binary), and the parent coordinates legs, ring migration and
+// the final merge over length-prefixed gob frames on the children's
+// stdin/stdout pipes. The orchestration mirrors runIslands exactly —
+// same derived seeds, same leg boundaries, same migration quirks, same
+// slot-order stats merge — so the archives of a distributed run are
+// byte-identical to the in-process mode for any given seed (pinned by
+// TestDistributedMatchesInProcess). Only the cache COUNTERS may differ:
+// processes share no fitness/structural snapshots, so a genome that was
+// a cross-island snapshot hit in-process is simply re-evaluated — to
+// the same values, since evaluation is pure per genome.
+//
+// Protocol. Every frame is a 4-byte big-endian length followed by one
+// gob-encoded wireMsg. The parent speaks first and every request gets
+// exactly one reply, so the conversation per child is strictly
+// half-duplex and deadlock-free:
+//
+//	parent → child        child → parent
+//	init{spec,opts,i,s} → ack          (island built, generation 0 done)
+//	advance{from,to}    → ack          (leg evolved)
+//	elites{n}           → elites{...}  (migration sources, pre-merge)
+//	migrants{in,out}    → ack          (receiver-side merge applied)
+//	finish              → done{...}    (archive, history, stats)
+//
+// The parent sends each leg's requests to ALL children before reading
+// any reply, so the processes compute concurrently; replies are read in
+// island slot order, which is also the order every run-level aggregate
+// is folded in. Requests and replies are small (elite sets are a tenth
+// of an archive) and never approach the pipe buffer, so the batched
+// sends cannot block.
+//
+// The child half is RunIslandWorker. The host binary must divert to it
+// before doing anything else when IslandWorkerEnv is set — cmd/ftmap
+// does so at the top of main, and the dse test binary in TestMain — so
+// the re-exec'd process becomes a protocol server instead of re-running
+// the parent's command line.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+
+	"mcmap/internal/model"
+)
+
+// IslandWorkerEnv is the environment variable that marks a process as a
+// distributed-island worker. Binaries that call Optimize with
+// Options.Distributed must check it first thing in main and hand their
+// stdin/stdout to RunIslandWorker when it is set to "1".
+const IslandWorkerEnv = "MCMAP_ISLAND_WORKER"
+
+// Wire message kinds. Replies echo the request kind except where a
+// dedicated payload exists (elites, done) or something failed (error).
+const (
+	kindInit     = "init"
+	kindAdvance  = "advance"
+	kindElites   = "elites"
+	kindMigrants = "migrants"
+	kindFinish   = "finish"
+	kindAck      = "ack"
+	kindDone     = "done"
+	kindError    = "error"
+)
+
+// maxFrame bounds a frame's declared length; anything larger means a
+// corrupt or misframed stream, not a legitimate payload.
+const maxFrame = 1 << 28
+
+// wireMsg is the one envelope both directions use; Kind selects which
+// fields are meaningful. Individuals cross the wire as their exported
+// fields (genome, objectives, report views) — the unexported scenario
+// tally stays behind, which is fine: it is folded into island stats at
+// evaluation time and never read off migrants or archive members.
+type wireMsg struct {
+	Kind string
+	Init *wireInit
+	// From, To delimit an advance leg (generations, inclusive).
+	From, To int
+	// N is the elite count requested by an elites message.
+	N int
+	// In carries the migrants entering the receiving island; OutCount is
+	// the size of the elite set that island contributed to the round
+	// (counted by the receiver, exactly like migrateRing does).
+	In       []*Individual
+	OutCount int
+	// Elites answers an elites request.
+	Elites []*Individual
+	Done   *wireDone
+	Error  string
+}
+
+// wireInit carries everything a worker needs to reconstruct its island:
+// the problem spec (revalidated by the child), the run options that
+// survive the wire, the island slot and its derived seed.
+type wireInit struct {
+	SpecJSON []byte
+	Opts     wireOptions
+	Island   int
+	Seed     int64
+}
+
+// wireOptions is the serializable subset of Options. The selector
+// travels by Name (only the built-in selectors work distributed) and
+// Workers is the child's own budget, already divided by the parent.
+// MigrationInterval stays home: the parent drives the legs.
+type wireOptions struct {
+	PopSize             int
+	ArchiveSize         int
+	Generations         int
+	MutationRate        float64
+	Workers             int
+	FitnessCacheSize    int
+	StructuralCacheSize int
+	Selector            string
+	TrackDroppingGain   bool
+	PruneDominated      bool
+	DisableCompiled     bool
+	DisableDropping     bool
+	DisableRepair       bool
+	NoSeeds             bool
+	MaxK                int
+	MaxReplicas         int
+}
+
+// wireDone is a worker's final report: its archive, per-generation
+// history (island-tagged), raw stats and the island summary.
+type wireDone struct {
+	Archive []*Individual
+	History []GenStat
+	Stats   Stats
+	Island  IslandStat
+}
+
+// writeFrame encodes msg as one length-prefixed gob frame. Each frame
+// carries its own encoder state, so frames are self-contained and a
+// reader can never desynchronize across message boundaries.
+func writeFrame(w io.Writer, msg *wireMsg) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		return fmt.Errorf("dse: encoding %s frame: %w", msg.Kind, err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame reads one length-prefixed gob frame.
+func readFrame(r io.Reader) (*wireMsg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dse: island frame of %d bytes exceeds the %d-byte bound (corrupt stream?)", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var msg wireMsg
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&msg); err != nil {
+		return nil, fmt.Errorf("dse: decoding island frame: %w", err)
+	}
+	return &msg, nil
+}
+
+// selectorByName resolves the built-in selectors for the wire. Custom
+// Selector implementations cannot cross a process boundary, so the
+// parent refuses Distributed runs with anything else up front.
+func selectorByName(name string) (Selector, bool) {
+	switch name {
+	case SPEA2{}.Name():
+		return SPEA2{}, true
+	case Elitist{}.Name():
+		return Elitist{}, true
+	}
+	return nil, false
+}
+
+// islandProc is the parent's handle on one worker process.
+type islandProc struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out io.ReadCloser
+}
+
+// send writes one request frame to the worker.
+func (ip *islandProc) send(msg *wireMsg) error {
+	return writeFrame(ip.in, msg)
+}
+
+// recv reads the worker's next reply and enforces the expected kind,
+// surfacing worker-side errors verbatim.
+func (ip *islandProc) recv(wantKind string) (*wireMsg, error) {
+	msg, err := readFrame(ip.out)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind == kindError {
+		return nil, errors.New(msg.Error)
+	}
+	if msg.Kind != wantKind {
+		return nil, fmt.Errorf("dse: island worker replied %q, want %q", msg.Kind, wantKind)
+	}
+	return msg, nil
+}
+
+// shutdown releases the worker: closing stdin makes a healthy worker's
+// read loop return EOF and exit. kill escalates for error paths.
+func (ip *islandProc) shutdown() error {
+	ip.in.Close()
+	return ip.cmd.Wait()
+}
+
+func (ip *islandProc) kill() {
+	ip.in.Close()
+	if ip.cmd.Process != nil {
+		ip.cmd.Process.Kill()
+	}
+	ip.cmd.Wait()
+}
+
+// runIslandsDistributed is the multi-process twin of runIslands: one
+// child process per island, same legs, same ring, same merge order.
+func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual, error) {
+	if _, ok := selectorByName(opts.Selector.Name()); !ok {
+		return nil, fmt.Errorf("dse: distributed islands support only the built-in selectors (spea2, elitist), not %q", opts.Selector.Name())
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dse: locating executable for island workers: %w", err)
+	}
+	var specJSON bytes.Buffer
+	if err := (&model.Spec{Architecture: p.Arch, Apps: p.Apps}).WriteJSON(&specJSON); err != nil {
+		return nil, fmt.Errorf("dse: serializing spec for island workers: %w", err)
+	}
+
+	// Each process owns a private worker budget: an even split of the
+	// run's Workers, at least one. (In-process islands share one pool;
+	// across processes there is nothing to share.)
+	childWorkers := opts.Workers / opts.Islands
+	if childWorkers < 1 {
+		childWorkers = 1
+	}
+	wopts := wireOptions{
+		PopSize:             opts.PopSize,
+		ArchiveSize:         opts.ArchiveSize,
+		Generations:         opts.Generations,
+		MutationRate:        opts.MutationRate,
+		Workers:             childWorkers,
+		FitnessCacheSize:    opts.FitnessCacheSize,
+		StructuralCacheSize: opts.StructuralCacheSize,
+		Selector:            opts.Selector.Name(),
+		TrackDroppingGain:   opts.TrackDroppingGain,
+		PruneDominated:      opts.PruneDominated,
+		DisableCompiled:     opts.DisableCompiled,
+		DisableDropping:     opts.DisableDropping,
+		DisableRepair:       opts.DisableRepair,
+		NoSeeds:             opts.NoSeeds,
+		MaxK:                p.MaxK,
+		MaxReplicas:         p.MaxReplicas,
+	}
+
+	k := opts.Islands
+	seeds := islandSeeds(opts.Seed, k)
+	procs := make([]*islandProc, 0, k)
+	failed := true
+	defer func() {
+		if failed {
+			for _, ip := range procs {
+				ip.kill()
+			}
+		}
+	}()
+	for i := 0; i < k; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), IslandWorkerEnv+"=1")
+		cmd.Stderr = os.Stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("dse: starting island worker %d: %w", i, err)
+		}
+		procs = append(procs, &islandProc{cmd: cmd, in: in, out: out})
+	}
+
+	// broadcast sends one request to every listed worker, then collects
+	// the replies in slot order; the workers overlap their computation.
+	broadcast := func(idx []int, req func(i int) *wireMsg, wantKind string) ([]*wireMsg, error) {
+		for _, i := range idx {
+			if err := procs[i].send(req(i)); err != nil {
+				return nil, fmt.Errorf("dse: island worker %d: %w", i, err)
+			}
+		}
+		replies := make([]*wireMsg, len(procs))
+		for _, i := range idx {
+			msg, err := procs[i].recv(wantKind)
+			if err != nil {
+				return nil, fmt.Errorf("dse: island worker %d: %w", i, err)
+			}
+			replies[i] = msg
+		}
+		return replies, nil
+	}
+	all := make([]int, k)
+	for i := range all {
+		all[i] = i
+	}
+
+	// Generation 0 on every island.
+	if _, err := broadcast(all, func(i int) *wireMsg {
+		return &wireMsg{Kind: kindInit, Init: &wireInit{
+			SpecJSON: specJSON.Bytes(), Opts: wopts, Island: i, Seed: seeds[i],
+		}}
+	}, kindAck); err != nil {
+		return nil, err
+	}
+
+	// Legs and migration barriers, mirroring runIslands' loop bounds.
+	for start := 1; start <= opts.Generations; start += opts.MigrationInterval {
+		end := start + opts.MigrationInterval - 1
+		if end > opts.Generations {
+			end = opts.Generations
+		}
+		if _, err := broadcast(all, func(int) *wireMsg {
+			return &wireMsg{Kind: kindAdvance, From: start, To: end}
+		}, kindAck); err != nil {
+			return nil, err
+		}
+		if end >= opts.Generations {
+			continue
+		}
+		// One ring-migration round. The elites are captured from every
+		// pre-merge archive first (exactly like migrateRing), then each
+		// receiver merges its predecessor's set; islands receiving an
+		// empty set are skipped entirely, including their MigrantsOut
+		// tally — the in-process accounting quirk, preserved.
+		n := migrationElites(opts.ArchiveSize)
+		elites, err := broadcast(all, func(int) *wireMsg {
+			return &wireMsg{Kind: kindElites, N: n}
+		}, kindElites)
+		if err != nil {
+			return nil, err
+		}
+		var receivers []int
+		for i := 0; i < k; i++ {
+			if len(elites[(i-1+k)%k].Elites) > 0 {
+				receivers = append(receivers, i)
+				res.Stats.Migrations += len(elites[(i-1+k)%k].Elites)
+			}
+		}
+		if _, err := broadcast(receivers, func(i int) *wireMsg {
+			return &wireMsg{
+				Kind:     kindMigrants,
+				In:       elites[(i-1+k)%k].Elites,
+				OutCount: len(elites[i].Elites),
+			}
+		}, kindAck); err != nil {
+			return nil, err
+		}
+	}
+
+	// Harvest in slot order — the same fold order as runIslands.
+	dones, err := broadcast(all, func(int) *wireMsg { return &wireMsg{Kind: kindFinish} }, kindDone)
+	if err != nil {
+		return nil, err
+	}
+	failed = false
+	for i, ip := range procs {
+		if err := ip.shutdown(); err != nil {
+			return nil, fmt.Errorf("dse: island worker %d exited: %w", i, err)
+		}
+	}
+
+	union := make([]*Individual, 0, k*opts.ArchiveSize)
+	for _, msg := range dones {
+		d := msg.Done
+		if d == nil {
+			return nil, errors.New("dse: island worker sent an empty done frame")
+		}
+		res.Stats.merge(&d.Stats)
+		res.Stats.IslandStats = append(res.Stats.IslandStats, d.Island)
+		res.History = append(res.History, d.History...)
+		union = append(union, d.Archive...)
+	}
+	sort.SliceStable(res.History, func(i, j int) bool {
+		if res.History[i].Gen != res.History[j].Gen {
+			return res.History[i].Gen < res.History[j].Gen
+		}
+		return res.History[i].Island < res.History[j].Island
+	})
+	return opts.Selector.Select(union, opts.ArchiveSize), nil
+}
+
+// RunIslandWorker serves one island of a distributed run over the
+// parent's pipe protocol: requests arrive on r, replies leave on w. It
+// returns when the parent closes the pipe (clean EOF after finish) and
+// reports protocol or evolution errors after echoing them to the
+// parent. Host binaries route to it from main when IslandWorkerEnv is
+// set; the env check itself lives with the caller so this package stays
+// environment-independent.
+func RunIslandWorker(r io.Reader, w io.Writer) error {
+	var isl *island
+	fail := func(err error) error {
+		writeFrame(w, &wireMsg{Kind: kindError, Error: err.Error()})
+		return err
+	}
+	for {
+		msg, err := readFrame(r)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if msg.Kind != kindInit && isl == nil {
+			return fail(fmt.Errorf("dse: island worker got %s before init", msg.Kind))
+		}
+		var reply *wireMsg
+		switch msg.Kind {
+		case kindInit:
+			isl, err = buildWorkerIsland(msg.Init)
+			if err == nil {
+				err = isl.init()
+			}
+			if err != nil {
+				return fail(err)
+			}
+			reply = &wireMsg{Kind: kindAck}
+		case kindAdvance:
+			if err := isl.advance(msg.From, msg.To); err != nil {
+				return fail(err)
+			}
+			reply = &wireMsg{Kind: kindAck}
+		case kindElites:
+			reply = &wireMsg{Kind: kindElites, Elites: isl.elites(msg.N)}
+		case kindMigrants:
+			// The receiver half of migrateRing, verbatim: counters,
+			// selection merge, history annotation.
+			isl.migrantsOut += msg.OutCount
+			isl.migrantsIn += len(msg.In)
+			union := append(append([]*Individual(nil), isl.archive...), msg.In...)
+			isl.archive = isl.selectArchive(union)
+			if len(isl.history) > 0 {
+				isl.history[len(isl.history)-1].MigrantsIn += len(msg.In)
+			}
+			reply = &wireMsg{Kind: kindAck}
+		case kindFinish:
+			reply = &wireMsg{Kind: kindDone, Done: &wireDone{
+				Archive: isl.archive,
+				History: isl.history,
+				Stats:   isl.stats,
+				Island:  isl.islandStat(),
+			}}
+		default:
+			return fail(fmt.Errorf("dse: island worker got unknown message kind %q", msg.Kind))
+		}
+		if err := writeFrame(w, reply); err != nil {
+			return err
+		}
+	}
+}
+
+// buildWorkerIsland reconstructs the worker's island from an init
+// frame: spec → Problem (revalidated), wire options → Options, then the
+// same evaluator wiring Optimize performs, scaled to the child's own
+// worker budget.
+func buildWorkerIsland(init *wireInit) (*island, error) {
+	if init == nil {
+		return nil, errors.New("dse: island init frame without payload")
+	}
+	spec, err := model.ReadSpec(bytes.NewReader(init.SpecJSON))
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewProblem(spec.Architecture, spec.Apps)
+	if err != nil {
+		return nil, err
+	}
+	p.MaxK = init.Opts.MaxK
+	p.MaxReplicas = init.Opts.MaxReplicas
+	sel, ok := selectorByName(init.Opts.Selector)
+	if !ok {
+		return nil, fmt.Errorf("dse: island worker got unknown selector %q", init.Opts.Selector)
+	}
+	opts := Options{
+		PopSize:             init.Opts.PopSize,
+		ArchiveSize:         init.Opts.ArchiveSize,
+		Generations:         init.Opts.Generations,
+		MutationRate:        init.Opts.MutationRate,
+		Workers:             init.Opts.Workers,
+		FitnessCacheSize:    init.Opts.FitnessCacheSize,
+		StructuralCacheSize: init.Opts.StructuralCacheSize,
+		Selector:            sel,
+		TrackDroppingGain:   init.Opts.TrackDroppingGain,
+		PruneDominated:      init.Opts.PruneDominated,
+		DisableCompiled:     init.Opts.DisableCompiled,
+		DisableDropping:     init.Opts.DisableDropping,
+		DisableRepair:       init.Opts.DisableRepair,
+		NoSeeds:             init.Opts.NoSeeds,
+	}
+	ev, opts := newRunEvaluator(p, opts)
+	return newIsland(init.Island, p, opts, init.Seed, ev), nil
+}

@@ -6,7 +6,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"mcmap/internal/core"
 	"mcmap/internal/hardening"
@@ -100,6 +100,16 @@ type Options struct {
 	// MigrationInterval is the number of generations each island evolves
 	// between migration barriers (default 10). Irrelevant at Islands=1.
 	MigrationInterval int
+	// Distributed runs each island of a multi-island run in its own
+	// child process (a re-exec of the current binary), for multicore
+	// scaling past the Go runtime's shared-heap contention. The
+	// orchestration mirrors the in-process mode exactly — same seeds,
+	// legs and migration order — so the resulting archives are
+	// byte-identical; only cache counters may differ, since processes
+	// share no cache snapshots. Requires a built-in Selector and a host
+	// binary that routes to RunIslandWorker when IslandWorkerEnv is set
+	// (see cmd/ftmap); ignored at Islands=1.
+	Distributed bool
 	// Pool optionally shares a caller-owned worker budget across several
 	// Optimize runs — the experiments grid runs its seed × strategy ×
 	// benchmark cells concurrently against one pool so the whole grid
@@ -349,10 +359,57 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Stats: Stats{TechniqueCounts: map[hardening.Technique]int{}}}
 
-	// One worker budget for the whole run: candidate evaluations acquire
-	// from the pool, the scenario fan-out nested inside core.Analyze and
-	// the SPEA-II selection kernels borrow spare tokens from the same
-	// pool (see workpool), and every island draws from it too.
+	ev, opts := newRunEvaluator(p, opts)
+
+	var archive []*Individual
+	if opts.Islands == 1 {
+		isl := newIsland(0, p, opts, opts.Seed, ev)
+		if err := isl.init(); err != nil {
+			return nil, err
+		}
+		if err := isl.advance(1, opts.Generations); err != nil {
+			return nil, err
+		}
+		res.Stats.merge(&isl.stats)
+		res.History = isl.history
+		archive = isl.archive
+	} else if opts.Distributed {
+		var err error
+		archive, err = runIslandsDistributed(p, opts, res)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		archive, err = runIslands(p, opts, ev, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Harvest.
+	for _, ind := range archive {
+		if !ind.Feasible {
+			continue
+		}
+		if res.Best == nil || ind.Power < res.Best.Power {
+			res.Best = ind
+		}
+	}
+	res.Front = paretoFront(archive)
+	return res, nil
+}
+
+// newRunEvaluator builds a run's evaluation machinery from its options:
+// one worker budget for the whole run — candidate evaluations acquire
+// from the pool, the scenario fan-out nested inside core.Analyze and
+// the SPEA-II selection kernels borrow spare tokens from the same pool
+// (see workpool), and every island draws from it too — plus the
+// fitness and structural caches, and the pool-wired selector. Shared
+// by Optimize and the distributed-island worker (RunIslandWorker),
+// which performs exactly this wiring against its own child-sized
+// worker budget.
+func newRunEvaluator(p *Problem, opts Options) (evaluator, Options) {
 	ev := evaluator{
 		cfg:  p.Analysis,
 		pool: opts.Pool,
@@ -376,38 +433,7 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	if pw, ok := opts.Selector.(poolWirer); ok {
 		opts.Selector = pw.withPool(ev.pool)
 	}
-
-	var archive []*Individual
-	if opts.Islands == 1 {
-		isl := newIsland(0, p, opts, opts.Seed, ev)
-		if err := isl.init(); err != nil {
-			return nil, err
-		}
-		if err := isl.advance(1, opts.Generations); err != nil {
-			return nil, err
-		}
-		res.Stats.merge(&isl.stats)
-		res.History = isl.history
-		archive = isl.archive
-	} else {
-		var err error
-		archive, err = runIslands(p, opts, ev, res)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Harvest.
-	for _, ind := range archive {
-		if !ind.Feasible {
-			continue
-		}
-		if res.Best == nil || ind.Power < res.Best.Power {
-			res.Best = ind
-		}
-	}
-	res.Front = paretoFront(archive)
-	return res, nil
+	return ev, opts
 }
 
 // snapshot records one generation.
@@ -563,20 +589,46 @@ func (isl *island) evaluateAll(genomes []*Genome) ([]*Individual, genCacheStats,
 		})
 	}
 	errs := make([]error, len(genomes))
-	var wg sync.WaitGroup
-	for _, i := range toEval {
-		wg.Add(1)
-		//lint:allow gospawn evaluation coordinator; first action is a blocking pool.Acquire, so concurrency stays pool-bounded
-		go func(i int) {
-			defer wg.Done()
-			pprof.Do(isl.ctx, pprof.Labels("phase", "evaluate"), func(context.Context) {
-				ev.pool.Acquire()
-				defer ev.pool.Release()
-				out[i], errs[i] = p.evaluate(genomes[i], opts.TrackDroppingGain, ev.cfg)
-			})
-		}(i)
+	if len(toEval) > 0 {
+		// The island goroutine is the batch coordinator: it blocks for
+		// ONE pool slot (keeping sibling islands budget-bounded), then
+		// drains the candidate list inline, with up to width-1 helpers
+		// submitted to the persistent pool draining the same shared
+		// cursor. Helpers hold their own slots and never block-acquire,
+		// so the nesting protocol stays deadlock-free, and the common
+		// Workers=1 case runs the batch as a plain sequential loop in
+		// deterministic (ShapeKey-sorted) order instead of spawning one
+		// goroutine per candidate to fight over a single slot.
+		pprof.Do(isl.ctx, pprof.Labels("phase", "evaluate"), func(context.Context) {
+			ev.pool.Acquire()
+			defer ev.pool.Release()
+			var cursor atomic.Int64
+			claim := func() (int, bool) {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(toEval) {
+					return 0, false
+				}
+				return toEval[k], true
+			}
+			drain := func() {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				pprof.Do(isl.ctx, pprof.Labels("phase", "evaluate"), func(context.Context) {
+					for ok {
+						out[i], errs[i] = p.evaluate(genomes[i], opts.TrackDroppingGain, ev.cfg)
+						i, ok = claim()
+					}
+				})
+			}
+			width := ev.pool.Cap()
+			if width > len(toEval) {
+				width = len(toEval)
+			}
+			ev.pool.FanOut(width, drain)
+		})
 	}
-	wg.Wait()
 	for _, i := range toEval {
 		if errs[i] != nil {
 			return nil, gc, fmt.Errorf("dse: evaluating candidate %d: %w", i, errs[i])

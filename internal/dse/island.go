@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 
+	"mcmap/internal/core"
 	"mcmap/internal/hardening"
 )
 
@@ -24,9 +25,12 @@ import (
 // Determinism: each island owns an independent RNG stream derived from
 // Options.Seed (see islandSeeds), islands synchronize only at migration
 // barriers, and migration itself runs sequentially in island order on the
-// coordinator. Candidate evaluation is pure per genome, so the shared
-// fitness and structural caches can change *counters* across runs of a
-// multi-island trajectory but never the archives themselves.
+// coordinator. Candidate evaluation is pure per genome, and each island's
+// fitness/structural caches are private with cross-island sharing only
+// through barrier-built snapshots (shareCaches), so both the archives AND
+// the per-island cache counters are deterministic functions of the seed
+// (intra-island evaluation concurrency can still shift structural
+// counters when Workers > 1 on a multicore runtime).
 
 // IslandStat summarizes one island's trajectory in a multi-island run.
 type IslandStat struct {
@@ -34,8 +38,8 @@ type IslandStat struct {
 	Evaluated int
 	Feasible  int
 	// CacheHits/CacheMisses are the island's own fitness-cache outcomes
-	// (the shared store means a hit may have been seeded by a sibling
-	// island).
+	// (a hit may have been seeded by a sibling island through the
+	// barrier snapshot).
 	CacheHits   int
 	CacheMisses int
 	// MigrantsIn and MigrantsOut count elite individuals received from and
@@ -66,6 +70,13 @@ func islandSeeds(seed int64, k int) []int64 {
 	}
 	return out
 }
+
+// IslandSeeds exposes the per-island seed derivation: IslandSeeds(s, k)[i]
+// is the RNG seed island i of a k-island run with Options.Seed = s
+// evolves from. Benchmarks and analysis tooling use it to reproduce one
+// island's trajectory in isolation (Optimize with Islands=1 and the
+// derived seed runs the identical trajectory, absent migration).
+func IslandSeeds(seed int64, k int) []int64 { return islandSeeds(seed, k) }
 
 // island is one GA trajectory: its own RNG, archive and statistics, plus
 // a view of the run's shared evaluation machinery (worker pool, fitness
@@ -302,20 +313,61 @@ func migrateRing(islands []*island) int {
 	return total
 }
 
+// shareCaches rebuilds the cross-island cache snapshots from the
+// islands' private stores, in island slot order (first entry wins). It
+// runs only at barriers — init and migration — when every island
+// goroutine has joined, so installing the snapshots is race-free. One
+// epoch's evaluations become visible to siblings at the next barrier;
+// entries no private store retains any longer age out of the snapshot.
+func shareCaches(islands []*island) {
+	if islands[0].ev.cache != nil {
+		m := make(map[Key128]*Individual)
+		for _, isl := range islands {
+			isl.ev.cache.store.appendTo(m)
+		}
+		for _, isl := range islands {
+			isl.ev.cache.snap = m
+		}
+	}
+	if islands[0].ev.cfg.Structural != nil {
+		snap := core.NewStructSnapshot()
+		for _, isl := range islands {
+			isl.ev.cfg.Structural.ExportTo(snap)
+		}
+		for _, isl := range islands {
+			isl.ev.cfg.Structural.SetSnapshot(snap)
+		}
+	}
+}
+
 // runIslands is the multi-island orchestrator: parallel legs of
 // MigrationInterval generations separated by sequential ring-migration
 // barriers, then a final cross-island merge through one last
 // environmental selection over the union of all archives.
+//
+// Unlike the single-island path, every island owns PRIVATE fitness and
+// structural caches; cross-island sharing happens through read-only
+// snapshots rebuilt at each barrier (shareCaches). That removes all
+// cache contention from the fan-out path and makes each island's cache
+// counters a deterministic function of the seed (shared mutable stores
+// made them timing-dependent), at the cost of one-leg-delayed sharing.
 func runIslands(p *Problem, opts Options, ev evaluator, res *Result) ([]*Individual, error) {
 	seeds := islandSeeds(opts.Seed, opts.Islands)
 	islands := make([]*island, opts.Islands)
 	for i := range islands {
 		islands[i] = newIsland(i, p, opts, seeds[i], ev)
+		if ev.cache != nil {
+			islands[i].ev.cache = newFitnessCache(opts.FitnessCacheSize)
+		}
+		if ev.cfg.Structural != nil {
+			islands[i].ev.cfg.Structural = core.NewStructuralCache(opts.StructuralCacheSize)
+		}
 	}
 
 	if err := forEachIsland(islands, func(isl *island) error { return isl.init() }); err != nil {
 		return nil, err
 	}
+	shareCaches(islands)
 	for start := 1; start <= opts.Generations; start += opts.MigrationInterval {
 		end := start + opts.MigrationInterval - 1
 		if end > opts.Generations {
@@ -328,6 +380,7 @@ func runIslands(p *Problem, opts Options, ev evaluator, res *Result) ([]*Individ
 			pprof.Do(context.Background(), pprof.Labels("phase", "migrate"), func(context.Context) {
 				res.Stats.Migrations += migrateRing(islands)
 			})
+			shareCaches(islands)
 		}
 	}
 

@@ -195,6 +195,13 @@ func resizeUint8s(s []uint8, n int) []uint8 {
 
 func (h *Holistic) getCScratch(cs *CompiledSystem) *compiledScratch {
 	s := h.cscratch.Get()
+	s.prep(cs)
+	return s
+}
+
+// prep readies the scratch for one analysis of cs — the per-call state
+// a freelist checkout establishes (see holisticScratch.prep).
+func (s *compiledScratch) prep(cs *CompiledSystem) {
 	n := cs.N
 	s.minAct = resizeTimes(s.minAct, n)
 	s.maxFinish = resizeTimes(s.maxFinish, n)
@@ -210,7 +217,6 @@ func (h *Holistic) getCScratch(cs *CompiledSystem) *compiledScratch {
 		s.scan = make([]nodeScan, n)
 	}
 	s.scan = s.scan[:n]
-	return s
 }
 
 // resetScan (re)initializes the persistent admission state for one pass
@@ -244,13 +250,20 @@ func (h *Holistic) AnalyzeCompiled(cs *CompiledSystem, exec []ExecBounds) (*Resu
 	if cs.Arbitrated {
 		return h.Analyze(cs.Sys, exec)
 	}
+	s := h.getCScratch(cs)
+	defer h.cscratch.Put(s)
+	return h.analyzeCompiledWith(cs, exec, s)
+}
+
+// analyzeCompiledWith is AnalyzeCompiled over a caller-owned scratch
+// for a non-arbitrated lowering; s must have been prepped for cs
+// immediately before the call.
+func (h *Holistic) analyzeCompiledWith(cs *CompiledSystem, exec []ExecBounds, s *compiledScratch) (*Result, error) {
 	if err := ValidateExec(cs.Sys, exec); err != nil {
 		return nil, err
 	}
 	n := cs.N
 	res := &Result{Bounds: make([]Bounds, n)}
-	s := h.getCScratch(cs)
-	defer h.cscratch.Put(s)
 
 	minAct := s.minAct
 	compiledBestCase(cs, exec, res, minAct)
@@ -431,21 +444,30 @@ func (h *Holistic) analyzeCompiledFrom(cs *CompiledSystem, exec []ExecBounds, ba
 	if cs.Arbitrated {
 		return h.AnalyzeFrom(cs.Sys, exec, baseline, dirty)
 	}
+	s := h.getCScratch(cs)
+	defer h.cscratch.Put(s)
+	return h.analyzeCompiledFromWith(cs, exec, baseline, dirty, wantWarm, s)
+}
+
+// analyzeCompiledFromWith is the warm-start path over a caller-owned
+// scratch for a non-arbitrated lowering; s must have been prepped for
+// cs immediately before the call. Cold-run fallbacks re-prep s and
+// reuse it instead of checking out a second scratch.
+func (h *Holistic) analyzeCompiledFromWith(cs *CompiledSystem, exec []ExecBounds, baseline *Result, dirty []bool, wantWarm bool, s *compiledScratch) (*Result, error) {
 	n := cs.N
 	if baseline == nil || baseline.warm == nil || len(baseline.Bounds) != n || len(dirty) != n {
-		return h.AnalyzeCompiled(cs, exec)
+		return h.analyzeCompiledWith(cs, exec, s)
 	}
 	if err := ValidateExec(cs.Sys, exec); err != nil {
 		return nil, err
 	}
 
-	s := h.getCScratch(cs)
-	defer h.cscratch.Put(s)
 	s.aff = resizeBools(s.aff, n)
 	aff := s.aff
 	order, cold := s.closureOrder(cs, dirty, aff)
 	if cold {
-		return h.AnalyzeCompiled(cs, exec)
+		s.prep(cs)
+		return h.analyzeCompiledWith(cs, exec, s)
 	}
 
 	res := &Result{Bounds: make([]Bounds, n)}
@@ -465,7 +487,8 @@ func (h *Holistic) analyzeCompiledFrom(cs *CompiledSystem, exec []ExecBounds, ba
 		}
 	}
 	if h.compiledWorstPass(cs, exec, res, minAct, maxFinish, activation, s, order) {
-		return h.AnalyzeCompiled(cs, exec)
+		s.prep(cs)
+		return h.analyzeCompiledWith(cs, exec, s)
 	}
 
 	var nextWarm *warmState
@@ -492,7 +515,8 @@ func (h *Holistic) analyzeCompiledFrom(cs *CompiledSystem, exec []ExecBounds, ba
 		}
 	}
 	if _, capped := h.compiledImprove(cs, exec, res, minAct, activation, s, order); capped {
-		return h.AnalyzeCompiled(cs, exec)
+		s.prep(cs)
+		return h.analyzeCompiledWith(cs, exec, s)
 	}
 	if wantWarm {
 		copy(nextWarm.minActC, minAct)
@@ -521,7 +545,8 @@ func (h *Holistic) analyzeCompiledFrom(cs *CompiledSystem, exec []ExecBounds, ba
 		}
 	}
 	if h.compiledWorstPass(cs, exec, res, minAct, maxFinish, activation, s, s.liftClosure(cs, order)) {
-		return h.AnalyzeCompiled(cs, exec)
+		s.prep(cs)
+		return h.analyzeCompiledWith(cs, exec, s)
 	}
 
 	res.warm = nextWarm

@@ -119,11 +119,24 @@ type holisticScratch struct {
 	stack []platform.NodeID
 }
 
+func newHolisticScratch() *holisticScratch {
+	return &holisticScratch{busDelay: make(map[edgeKey]model.Time)}
+}
+
 func (h *Holistic) getScratch(sys *platform.System) *holisticScratch {
 	s := h.scratch.Get()
 	if s == nil {
-		s = &holisticScratch{busDelay: make(map[edgeKey]model.Time)}
+		s = newHolisticScratch()
 	}
+	s.prep(sys)
+	return s
+}
+
+// prep readies the scratch for one analysis of sys — the per-call state
+// a freelist checkout establishes. Sessions re-prep their pinned
+// scratch before every analysis, so a pinned scratch enters each run in
+// exactly the state a fresh checkout would hand out.
+func (s *holisticScratch) prep(sys *platform.System) {
 	n := len(sys.Nodes)
 	s.minAct = resizeTimes(s.minAct, n)
 	s.maxFinish = resizeTimes(s.maxFinish, n)
@@ -132,7 +145,6 @@ func (h *Holistic) getScratch(sys *platform.System) *holisticScratch {
 		s.kern.build(sys)
 		s.kernSys = sys
 	}
-	return s
 }
 
 // resizeTimes returns a zeroed slice of length n, reusing capacity.
@@ -202,13 +214,19 @@ func (h *Holistic) maxOuterIters() int {
 
 // Analyze implements Analyzer.
 func (h *Holistic) Analyze(sys *platform.System, exec []ExecBounds) (*Result, error) {
+	s := h.getScratch(sys)
+	defer h.scratch.Put(s)
+	return h.analyzeWith(sys, exec, s)
+}
+
+// analyzeWith is Analyze over a caller-owned scratch; s must have been
+// prepped for sys immediately before the call.
+func (h *Holistic) analyzeWith(sys *platform.System, exec []ExecBounds, s *holisticScratch) (*Result, error) {
 	if err := ValidateExec(sys, exec); err != nil {
 		return nil, err
 	}
 	n := len(sys.Nodes)
 	res := &Result{Bounds: make([]Bounds, n)}
-	s := h.getScratch(sys)
-	defer h.scratch.Put(s)
 
 	// ---- Phase A: precedence-only best-case pass ------------------------
 	// minAct[i] is a lower bound on job i's ACTIVATION (all inputs

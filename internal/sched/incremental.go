@@ -111,23 +111,32 @@ func affectedClosure(k *holisticKernel, dirty, aff []bool, stack []platform.Node
 // baselines — the structural candidate cache in internal/core relies
 // on this to chain warm starts across sibling candidates.
 func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error) {
+	s := h.getScratch(sys)
+	defer h.scratch.Put(s)
+	return h.analyzeFromWith(sys, exec, baseline, dirty, s)
+}
+
+// analyzeFromWith is AnalyzeFrom over a caller-owned scratch; s must
+// have been prepped for sys immediately before the call. Cold-run
+// fallbacks re-prep s (restoring the fresh-checkout state) and reuse it
+// instead of checking out a second scratch.
+func (h *Holistic) analyzeFromWith(sys *platform.System, exec []ExecBounds, baseline *Result, dirty []bool, s *holisticScratch) (*Result, error) {
 	n := len(sys.Nodes)
 	if baseline == nil || baseline.warm == nil || len(baseline.Bounds) != n ||
 		len(dirty) != n || sys.Arch.Fabric.Arbitrated() {
-		return h.Analyze(sys, exec)
+		return h.analyzeWith(sys, exec, s)
 	}
 	if err := ValidateExec(sys, exec); err != nil {
 		return nil, err
 	}
 
-	s := h.getScratch(sys)
-	defer h.scratch.Put(s)
 	s.aff = resizeBools(s.aff, n)
 	aff := s.aff
 	var affected int
 	affected, s.stack = affectedClosure(&s.kern, dirty, aff, s.stack)
 	if affected == n {
-		return h.Analyze(sys, exec)
+		s.prep(sys)
+		return h.analyzeWith(sys, exec, s)
 	}
 
 	res := &Result{Bounds: make([]Bounds, n)}
@@ -153,7 +162,8 @@ func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline
 	if h.worstPass(sys, exec, res, minAct, maxFinish, activation, s, aff) {
 		// The restricted fixed point hit the outer cap: reproduce the
 		// cold run's saturation semantics exactly by running cold.
-		return h.Analyze(sys, exec)
+		s.prep(sys)
+		return h.analyzeWith(sys, exec, s)
 	}
 
 	// Snapshot the post-B state: clean entries were pinned from the
@@ -176,7 +186,8 @@ func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline
 		}
 	}
 	if _, capped := h.improveBestCase(sys, exec, res, minAct, activation, s, aff); capped {
-		return h.Analyze(sys, exec)
+		s.prep(sys)
+		return h.analyzeWith(sys, exec, s)
 	}
 	copy(nextWarm.minActC, minAct)
 
@@ -194,7 +205,8 @@ func (h *Holistic) AnalyzeFrom(sys *platform.System, exec []ExecBounds, baseline
 		}
 	}
 	if h.worstPass(sys, exec, res, minAct, maxFinish, activation, s, aff) {
-		return h.Analyze(sys, exec)
+		s.prep(sys)
+		return h.analyzeWith(sys, exec, s)
 	}
 
 	res.warm = nextWarm

@@ -1,0 +1,110 @@
+package sched
+
+import "mcmap/internal/platform"
+
+// SessionAnalyzer is an optional extension for backends that can pin
+// per-worker scratch state across a run of analyses on one system.
+// Algorithm 1's scenario fan-out opens one session per worker: every
+// analysis then reuses the worker-owned scratch directly instead of
+// cycling it through the backend's shared freelist, so the freelist
+// mutex vanishes from the per-scenario hot path and each worker's
+// buffers stay hot in its cache.
+type SessionAnalyzer interface {
+	Analyzer
+	// OpenSession pins scratch state for analyses of sys. The caller
+	// owns the session until Close and must not share it between
+	// goroutines; results are byte-identical to the session-free entry
+	// points.
+	OpenSession(sys *platform.System) *Session
+}
+
+// Session is a single-goroutine analysis context with pinned scratch
+// state. Scratches are checked out of the backend's freelists lazily on
+// first use and returned by Close; between analyses they are re-prepped
+// to the exact state a fresh checkout would establish, which is what
+// makes session results byte-identical to the plain entry points.
+type Session struct {
+	h   *Holistic
+	sys *platform.System
+	cs  *CompiledSystem // non-nil: route through the compiled kernel
+	hs  *holisticScratch
+	cst *compiledScratch
+}
+
+// OpenSession implements SessionAnalyzer for the pointer-graph engine.
+func (h *Holistic) OpenSession(sys *platform.System) *Session {
+	return &Session{h: h, sys: sys}
+}
+
+// OpenCompiledSession pins scratch for analyses of cs through the
+// compiled kernel; arbitrated lowerings transparently use the pointer
+// path, exactly like the compiled entry points.
+func (h *Holistic) OpenCompiledSession(cs *CompiledSystem) *Session {
+	return &Session{h: h, sys: cs.Sys, cs: cs}
+}
+
+func (se *Session) scratch() *holisticScratch {
+	if se.hs == nil {
+		se.hs = se.h.scratch.Get()
+		if se.hs == nil {
+			se.hs = newHolisticScratch()
+		}
+	}
+	se.hs.prep(se.sys)
+	return se.hs
+}
+
+func (se *Session) cscratch() *compiledScratch {
+	if se.cst == nil {
+		se.cst = se.h.cscratch.Get()
+	}
+	se.cst.prep(se.cs)
+	return se.cst
+}
+
+func (se *Session) compiled() bool { return se.cs != nil && !se.cs.Arbitrated }
+
+// Analyze is Analyzer.Analyze over the session's system and scratch.
+func (se *Session) Analyze(exec []ExecBounds) (*Result, error) {
+	if se.compiled() {
+		return se.h.analyzeCompiledWith(se.cs, exec, se.cscratch())
+	}
+	return se.h.analyzeWith(se.sys, exec, se.scratch())
+}
+
+// AnalyzeFrom is IncrementalAnalyzer.AnalyzeFrom over the session's
+// system and scratch.
+func (se *Session) AnalyzeFrom(exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error) {
+	if se.compiled() {
+		return se.h.analyzeCompiledFromWith(se.cs, exec, baseline, dirty, true, se.cscratch())
+	}
+	return se.h.analyzeFromWith(se.sys, exec, baseline, dirty, se.scratch())
+}
+
+// AnalyzeFromLeaf is LeafAnalyzer.AnalyzeFromLeaf over the session's
+// system and scratch. The pointer path has no leaf variant and returns
+// the full result — a superset of the contract.
+func (se *Session) AnalyzeFromLeaf(exec []ExecBounds, baseline *Result, dirty []bool) (*Result, error) {
+	if se.compiled() {
+		return se.h.analyzeCompiledFromWith(se.cs, exec, baseline, dirty, false, se.cscratch())
+	}
+	return se.h.analyzeFromWith(se.sys, exec, baseline, dirty, se.scratch())
+}
+
+// Close returns the pinned scratches to the backend freelists. The
+// session must not be used afterwards.
+func (se *Session) Close() {
+	if se == nil {
+		return
+	}
+	if se.hs != nil {
+		se.h.scratch.Put(se.hs)
+		se.hs = nil
+	}
+	if se.cst != nil {
+		se.h.cscratch.Put(se.cst)
+		se.cst = nil
+	}
+}
+
+var _ SessionAnalyzer = (*Holistic)(nil)

@@ -32,6 +32,148 @@ func TestTryAcquireBudget(t *testing.T) {
 	}
 }
 
+func TestSubmitRunsAndReleases(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var ran sync.WaitGroup
+	var count atomic.Int64
+	for i := 0; i < 50; i++ {
+		ran.Add(1)
+		if !p.Submit(func() { count.Add(1); ran.Done() }) {
+			// Budget full: run inline like a fan-out caller would.
+			count.Add(1)
+			ran.Done()
+		}
+	}
+	ran.Wait()
+	if count.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", count.Load())
+	}
+	// All slots must have been released.
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("slots not released after submitted tasks completed")
+	}
+	if p.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past the budget")
+	}
+	p.Release()
+	p.Release()
+}
+
+func TestSubmitNilPool(t *testing.T) {
+	var p *Pool
+	if p.Submit(func() {}) {
+		t.Fatal("Submit on a nil pool must report false")
+	}
+	p.Close() // must not panic
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	p := New(2)
+	p.Submit(func() {})
+	p.Close()
+	if p.Submit(func() {}) {
+		t.Fatal("Submit after Close must report false")
+	}
+	p.Close() // idempotent
+}
+
+// TestFanOutCompletesClaimedJobs checks the core FanOut contract: every
+// job claimed off the shared index is complete when FanOut returns,
+// across pools smaller and larger than the fan-out width.
+func TestFanOutCompletesClaimedJobs(t *testing.T) {
+	for _, budget := range []int{1, 2, 4, 16} {
+		p := New(budget)
+		for rep := 0; rep < 20; rep++ {
+			const jobs = 200
+			var next atomic.Int64
+			done := make([]atomic.Bool, jobs)
+			p.FanOut(8, func() {
+				for {
+					i := next.Add(1) - 1
+					if i >= jobs {
+						return
+					}
+					done[i].Store(true)
+				}
+			})
+			for i := range done {
+				if !done[i].Load() {
+					t.Fatalf("budget=%d rep=%d: job %d unfinished after FanOut", budget, rep, i)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestFanOutChunked(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, grain int }{
+		{0, 5}, {1, 1}, {7, 3}, {100, 7}, {64, 64}, {64, 1000}, {50, 0},
+	} {
+		seen := make([]atomic.Int64, tc.n)
+		p.FanOutChunked(8, tc.n, tc.grain, func(lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("n=%d grain=%d: bad chunk [%d,%d)", tc.n, tc.grain, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d grain=%d: index %d covered %d times", tc.n, tc.grain, i, got)
+			}
+		}
+	}
+	// Nil pool still covers the range inline.
+	var np *Pool
+	var sum atomic.Int64
+	np.FanOutChunked(8, 10, 3, func(lo, hi int) { sum.Add(int64(hi - lo)) })
+	if sum.Load() != 10 {
+		t.Fatalf("nil-pool FanOutChunked covered %d of 10", sum.Load())
+	}
+}
+
+// TestFanOutLateHelperNoOp asserts that a helper starting after the
+// fan-out returned observes no work (the documented contract) rather
+// than re-running jobs.
+func TestFanOutLateHelperNoOp(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	// Occupy one worker so a FanOut helper gets queued behind it.
+	release := make(chan struct{})
+	var blockerStarted sync.WaitGroup
+	blockerStarted.Add(1)
+	if !p.Submit(func() { blockerStarted.Done(); <-release }) {
+		t.Fatal("blocker Submit failed on empty pool")
+	}
+	blockerStarted.Wait()
+
+	const jobs = 32
+	var next, runs atomic.Int64
+	p.FanOut(2, func() {
+		for {
+			if next.Add(1) > jobs {
+				return
+			}
+			runs.Add(1)
+		}
+	})
+	if runs.Load() != jobs {
+		t.Fatalf("caller completed %d of %d jobs", runs.Load(), jobs)
+	}
+	close(release)
+	// The queued helper eventually runs as a no-op; Close drains after it.
+	p.Close()
+	if runs.Load() != jobs {
+		t.Fatalf("late helper re-ran jobs: %d > %d", runs.Load(), jobs)
+	}
+}
+
 // TestNestedBudget exercises the outer-Acquire / inner-TryAcquire nesting
 // protocol and asserts the combined concurrency never exceeds the budget.
 func TestNestedBudget(t *testing.T) {
