@@ -2,7 +2,7 @@
 # extra dependencies are required.
 
 GO         ?= go
-BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkAnalyzeBatch|BenchmarkCompiledKernel|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache|BenchmarkIslandDSE|BenchmarkSPEA2Select
+BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkAnalyzeBatch|BenchmarkCompiledKernel|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache|BenchmarkIslandDSE|BenchmarkSPEA2Select|BenchmarkDaemonWarmVsCold
 BENCHCOUNT ?= 3
 BENCHOUT   ?= BENCH_core.json
 FUZZTIME   ?= 20s
@@ -63,10 +63,10 @@ bench:
 # same four trajectories sequentially — within 30%. Same gate CI runs;
 # see .github/workflows/ci.yml.
 benchguard:
-	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkAnalyzeParallel|BenchmarkIslandDSE|BenchmarkSPEA2Select' -count 3 -json . > bench_current.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkAnalyzeParallel|BenchmarkIslandDSE|BenchmarkSPEA2Select|BenchmarkDaemonWarmVsCold' -count 3 -json . > bench_current.json
 	$(GO) run ./cmd/benchguard -baseline $(BENCHOUT) -current bench_current.json \
 		-threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkIslandDSE/islands=1|BenchmarkSPEA2Select' \
-		-ratio 'BenchmarkAnalyzeParallel/tasks=162/scenarios=15/workers=8vs1:w8_over_w1<=1.10,BenchmarkIslandDSE/islands=4<=1.30*BenchmarkIslandDSE/islands=1'
+		-ratio 'BenchmarkAnalyzeParallel/tasks=162/scenarios=15/workers=8vs1:w8_over_w1<=1.10,BenchmarkIslandDSE/islands=4<=1.30*BenchmarkIslandDSE/islands=1,BenchmarkDaemonWarmVsCold:warm_over_cold<=0.20'
 	@rm -f bench_current.json
 
 # profile captures cpu, mutex and block profiles of the two

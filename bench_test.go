@@ -7,8 +7,11 @@
 package mcmap_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -20,6 +23,7 @@ import (
 	"mcmap/internal/model"
 	"mcmap/internal/platform"
 	"mcmap/internal/sched"
+	"mcmap/internal/service"
 	"mcmap/internal/sim"
 )
 
@@ -947,4 +951,63 @@ func BenchmarkPolicyAblation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- mcmapd: warm vs cold ----------------------------------------------------
+
+// BenchmarkDaemonWarmVsCold gates the daemon's result cache: each
+// iteration stands up a fresh daemon, runs one COLD /analyze (full
+// compile + Algorithm 1 + encode) and one WARM repeat of the identical
+// request (served from the bounded result cache), timing both inside the
+// same window. The warm_over_cold metric is their ratio — benchguard
+// asserts it stays under 0.20, i.e. the warm path is at least 5x faster
+// than recomputing. Interleaving the halves makes the quotient immune to
+// machine-speed drift, exactly like the w8_over_w1 gate above.
+func BenchmarkDaemonWarmVsCold(b *testing.B) {
+	bench := benchmarks.Synth(benchmarks.SynthConfig{
+		Name: "daemon", Procs: 8,
+		CriticalApps: 3, DroppableApps: 3,
+		MinTasks: 5, MaxTasks: 8,
+		Seed: 17,
+	})
+	man, err := bench.Hardened()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &model.Spec{
+		Architecture: bench.Arch,
+		Apps:         man.Apps,
+		Mapping:      bench.SampleMapping(man, benchmarks.MapLoadBalance),
+	}
+	var buf bytes.Buffer
+	if err := spec.WriteJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	body := buf.Bytes()
+
+	var coldNs, warmNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := service.New(service.Config{}, nil)
+		post := func() int {
+			req := httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(body))
+			rr := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rr, req)
+			return rr.Code
+		}
+		t0 := time.Now()
+		if code := post(); code != http.StatusOK {
+			b.Fatalf("cold analyze: status %d", code)
+		}
+		t1 := time.Now()
+		if code := post(); code != http.StatusOK {
+			b.Fatalf("warm analyze: status %d", code)
+		}
+		coldNs += t1.Sub(t0).Nanoseconds()
+		warmNs += time.Since(t1).Nanoseconds()
+		b.StopTimer()
+		srv.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(warmNs)/float64(coldNs), "warm_over_cold")
 }

@@ -1,0 +1,91 @@
+// Command mcmapd is the analysis-as-a-service daemon: a long-running
+// HTTP/JSON server over the repository's WCRT analysis (Algorithm 1) and
+// genetic design-space exploration. Unlike the one-shot CLIs (wcrtcheck,
+// ftmap) it keeps state between requests — coalescing concurrent
+// identical analyses, caching results and per-problem structural state,
+// streaming DSE progress, and checkpointing DSE jobs so a cancelled run
+// resumes into a byte-identical final archive.
+//
+// Endpoints (see DESIGN.md §9 and the README quickstart):
+//
+//	POST /analyze            run Algorithm 1 on a mapped spec
+//	POST /dse                queue an optimization job (202 + job id)
+//	GET  /jobs               list jobs
+//	GET  /jobs/{id}          job status and, when done, the result
+//	GET  /jobs/{id}/events   stream per-generation progress (NDJSON/SSE)
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+//	POST /jobs/{id}/resume   restart a cancelled/failed job from its
+//	                         newest migration-barrier checkpoint
+//	GET  /stats              cache/queue/coalescing counters
+//	GET  /healthz            liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcmap/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7077", "listen address")
+	workers := flag.Int("workers", 0, "shared compute budget for analyses and DSE evaluations (0 = GOMAXPROCS)")
+	runners := flag.Int("runners", 0, "queue-runner goroutines; one is reserved for analyses (0 = default 2)")
+	queueDepth := flag.Int("queue", 0, "queued-task bound; past it requests get 429 + Retry-After (0 = default 64)")
+	resultCache := flag.Int("result-cache", 0, "analyze result-cache entries (0 = default 256)")
+	maxProblems := flag.Int("max-problems", 0, "distinct problems with persistent caches, LRU-evicted (0 = default 32)")
+	structCache := flag.Int("struct-cache", 0, "per-problem structural-cache entries (0 = default 512)")
+	fitnessStore := flag.Int("fitness-store", 0, "per-problem cross-job fitness-store entries (0 = default 4096)")
+	maxBody := flag.Int64("max-body", 0, "request body bound in bytes (0 = default 16 MiB)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:             *workers,
+		Runners:             *runners,
+		QueueDepth:          *queueDepth,
+		ResultCacheSize:     *resultCache,
+		MaxProblems:         *maxProblems,
+		StructuralCacheSize: *structCache,
+		FitnessStoreSize:    *fitnessStore,
+		MaxBodyBytes:        *maxBody,
+	}, nil)
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// No write timeout: /jobs/{id}/events streams for the lifetime of
+		// a job. Abuse control is the body bound + bounded queue instead.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	//lint:allow gospawn the ListenAndServe goroutine ends the process via errc; main owns shutdown
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("mcmapd: listening on %s (workers=%d queue=%d)", *addr, srv.Workers(), srv.QueueDepth())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mcmapd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful stop: stop accepting, let in-flight handlers drain briefly,
+	// then cancel jobs and release the pool.
+	log.Print("mcmapd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mcmapd: shutdown: %v", err)
+	}
+	srv.Close()
+}

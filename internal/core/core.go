@@ -107,6 +107,15 @@ type Config struct {
 	// nesting W-way fitness evaluation over W-way scenario fan-out
 	// cannot oversubscribe to W² goroutines.
 	Pool *workpool.Pool
+	// Ctx, when non-nil, cancels an in-flight analysis: Analyze checks it
+	// between its passes and the scenario fan-out checks it between
+	// chunk claims, so a cancelled call returns ctx.Err() within one
+	// backend invocation's latency and releases any shared-pool slots it
+	// held (workers stop claiming work and the fan-out join returns).
+	// Cancellation affects only WHETHER a result is produced, never what
+	// it is: an analysis that completes before the deadline is
+	// byte-identical to one run without a context.
+	Ctx context.Context
 	// ProfCtx, when non-nil, carries pprof labels of the enclosing
 	// computation (e.g. the DSE's island index); scenario-analysis helper
 	// goroutines adopt them stacked with a phase=analyze label, so
@@ -249,6 +258,9 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	if err := dropped.Validate(sys.Apps); err != nil {
 		return nil, err
 	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
 	analyzer := cfg.engageCompiled(cfg.analyzer(), sys)
 
 	rep := &Report{
@@ -339,6 +351,9 @@ func Analyze(sys *platform.System, dropped DropSet, cfg Config) (*Report, error)
 	// Seed the structural cache for future siblings of this structure
 	// (no-op on hits and with caching disabled).
 	ss.seal(sys, normal, normalExec, refRes, refExec)
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
 	results, err := analyzeScenarios(analyzer, sys, jobs, cfg, base)
 	if err != nil {
 		return nil, err
@@ -412,6 +427,16 @@ func prunedByDominance(kept []scenarioJob, exec []sched.ExecBounds) bool {
 		}
 	}
 	return false
+}
+
+// ctxErr resolves the optional cancellation context: nil when no
+// context is configured or it is still live, the context's error once
+// it is done.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // diverged reports whether any bound saturated to infinity.

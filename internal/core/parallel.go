@@ -128,6 +128,9 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 		r := newJobRunner(analyzer, sys, base)
 		defer r.close()
 		for i := range jobs {
+			if err := ctxErr(cfg.Ctx); err != nil {
+				return nil, err
+			}
 			res, err := r.run(&jobs[i])
 			if err != nil {
 				return nil, err
@@ -165,7 +168,13 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 
 	var next atomic.Int64
 	next.Store(1)
+	// Cancellation: workers re-check the context per chunk claim, so a
+	// cancelled analysis stops fanning out within one chunk's worth of
+	// work and FanOut's join returns promptly, releasing the pool slots.
 	claim := func() (int, int, bool) {
+		if ctxErr(cfg.Ctx) != nil {
+			return 0, 0, false
+		}
 		lo := int(next.Add(int64(chunk))) - chunk
 		if lo >= len(jobs) {
 			return 0, 0, false
@@ -221,6 +230,9 @@ func analyzeScenarios(analyzer sched.Analyzer, sys *platform.System, jobs []scen
 		wg.Wait()
 	}
 
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

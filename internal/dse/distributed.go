@@ -337,7 +337,15 @@ func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual
 	}
 
 	// Legs and migration barriers, mirroring runIslands' loop bounds.
+	// Cancellation is coarse here: the coordinator checks the context at
+	// each leg boundary only (children have no context to thread it into),
+	// so a cancelled distributed run stops within one leg.
 	for start := 1; start <= opts.Generations; start += opts.MigrationInterval {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return nil, err
+			}
+		}
 		end := start + opts.MigrationInterval - 1
 		if end > opts.Generations {
 			end = opts.Generations

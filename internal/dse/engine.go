@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"mcmap/internal/core"
@@ -168,6 +169,47 @@ type Options struct {
 	// NoSeeds disables the heuristic seed genomes in the initial
 	// population (ablation).
 	NoSeeds bool
+	// Context, when non-nil, cancels the run: islands check it between
+	// generations and between candidate claims, and it flows into
+	// core.Config.Ctx so in-flight analyses stop claiming scenario
+	// chunks. Optimize then returns an error wrapping ctx.Err(), with
+	// every shared-pool slot released by the time it returns. A run that
+	// completes before cancellation is byte-identical to an uncancelled
+	// one. Distributed runs check the context only at leg barriers.
+	Context context.Context
+	// Progress, when non-nil, receives every generation's GenStat right
+	// after it is recorded, before the next generation starts — the
+	// streaming-progress hook of the analysis service. The engine
+	// serializes calls (multi-island runs record concurrently, but
+	// Progress never runs reentrantly); the callback must not block for
+	// long, since it runs on the island coordinator. Ring-migration
+	// annotations (GenStat.MigrantsIn) land in Result.History after the
+	// callback has fired for the barrier generation. Not invoked by
+	// Distributed runs, whose children own their histories until the
+	// finish.
+	Progress func(GenStat)
+	// CheckpointSink, when non-nil, receives the full run state at every
+	// migration barrier (for single-island runs: every
+	// MigrationInterval generations), after migration and cache-snapshot
+	// exchange. The sink runs synchronously on the coordinator and must
+	// Encode (or otherwise deep-copy) the checkpoint before returning;
+	// a non-nil error aborts the run. Not supported with Distributed.
+	CheckpointSink func(*Checkpoint) error
+	// Resume restores a run from a checkpoint instead of initializing
+	// generation 0. The problem fingerprint, island count and every
+	// trajectory-relevant option must match the checkpointed run (see
+	// checkResume); the resumed run's final archive is then
+	// byte-identical to the uninterrupted run's — only cache counters
+	// may differ, since caches restart cold. Not supported with
+	// Distributed.
+	Resume *Checkpoint
+	// FitnessStore optionally shares a cross-run fitness-memoization
+	// store (see FitnessStore), superseding the run-private cache that
+	// FitnessCacheSize would build. Effective on single-island runs
+	// only — multi-island runs keep private per-island caches for
+	// counter determinism — and ignored when FitnessCacheSize is
+	// negative (memoization disabled).
+	FitnessStore *FitnessStore
 }
 
 func (o Options) withDefaults() Options {
@@ -357,22 +399,41 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 		return nil, r.Err()
 	}
 	opts = opts.withDefaults()
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Distributed && opts.Islands > 1 && (opts.CheckpointSink != nil || opts.Resume != nil) {
+		return nil, fmt.Errorf("dse: checkpoint/resume is not supported with distributed islands")
+	}
+	if opts.Resume != nil {
+		if err := checkResume(p, opts, opts.Resume); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Progress != nil {
+		// Serialize the callback: multi-island runs record generations
+		// from concurrent island goroutines.
+		var mu sync.Mutex
+		fn := opts.Progress
+		opts.Progress = func(gs GenStat) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(gs)
+		}
+	}
 	res := &Result{Stats: Stats{TechniqueCounts: map[hardening.Technique]int{}}}
 
 	ev, opts := newRunEvaluator(p, opts)
 
 	var archive []*Individual
 	if opts.Islands == 1 {
-		isl := newIsland(0, p, opts, opts.Seed, ev)
-		if err := isl.init(); err != nil {
+		var err error
+		archive, err = runSingle(p, opts, ev, res)
+		if err != nil {
 			return nil, err
 		}
-		if err := isl.advance(1, opts.Generations); err != nil {
-			return nil, err
-		}
-		res.Stats.merge(&isl.stats)
-		res.History = isl.history
-		archive = isl.archive
 	} else if opts.Distributed {
 		var err error
 		archive, err = runIslandsDistributed(p, opts, res)
@@ -400,6 +461,47 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// runSingle is the single-island trajectory. Without checkpointing it is
+// one uninterrupted advance — the historical engine verbatim. With a
+// CheckpointSink or Resume it runs in MigrationInterval-generation legs,
+// checkpointing at each leg boundary below Generations; the legged loop
+// performs the identical operation sequence (advance(1,10); advance(11,20)
+// ≡ advance(1,20)), so the split never changes the trajectory.
+func runSingle(p *Problem, opts Options, ev evaluator, res *Result) ([]*Individual, error) {
+	isl := newIsland(0, p, opts, opts.Seed, ev)
+	start := 1
+	if ck := opts.Resume; ck != nil {
+		restoreIsland(isl, &ck.Islands[0])
+		res.Stats.Migrations = ck.Migrations
+		start = ck.Gen + 1
+	} else if err := isl.init(); err != nil {
+		return nil, err
+	}
+	if opts.CheckpointSink == nil {
+		if err := isl.advance(start, opts.Generations); err != nil {
+			return nil, err
+		}
+	} else {
+		for from := start; from <= opts.Generations; from += opts.MigrationInterval {
+			to := from + opts.MigrationInterval - 1
+			if to > opts.Generations {
+				to = opts.Generations
+			}
+			if err := isl.advance(from, to); err != nil {
+				return nil, err
+			}
+			if to < opts.Generations {
+				if err := opts.CheckpointSink(captureCheckpoint(p, opts, []*island{isl}, to, 0)); err != nil {
+					return nil, fmt.Errorf("dse: checkpoint sink: %w", err)
+				}
+			}
+		}
+	}
+	res.Stats.merge(&isl.stats)
+	res.History = isl.history
+	return isl.archive, nil
+}
+
 // newRunEvaluator builds a run's evaluation machinery from its options:
 // one worker budget for the whole run — candidate evaluations acquire
 // from the pool, the scenario fan-out nested inside core.Analyze and
@@ -424,11 +526,26 @@ func newRunEvaluator(p *Problem, opts Options) (evaluator, Options) {
 	if opts.DisableCompiled {
 		ev.cfg.Compiled = false
 	}
-	if opts.FitnessCacheSize > 0 {
-		ev.cache = newFitnessCache(opts.FitnessCacheSize)
+	if opts.FitnessCacheSize >= 0 {
+		if opts.FitnessStore != nil {
+			// Cross-run store: the run's cache fronts the shared store, so
+			// genomes evaluated by earlier runs over the same problem are
+			// warm hits here (the adaptive-bypass state stays run-private).
+			ev.cache = &fitnessCache{store: opts.FitnessStore.s}
+		} else if opts.FitnessCacheSize > 0 {
+			ev.cache = newFitnessCache(opts.FitnessCacheSize)
+		}
 	}
 	if opts.StructuralCacheSize >= 0 {
-		ev.cfg.Structural = core.NewStructuralCache(opts.StructuralCacheSize)
+		if ev.cfg.Structural == nil {
+			// Respect a caller-provided cache (Problem.Analysis.Structural):
+			// the analysis service pre-wires a per-problem persistent cache
+			// so runs warm-start each other. Absent that, build a private
+			// one for this run.
+			ev.cfg.Structural = core.NewStructuralCache(opts.StructuralCacheSize)
+		}
+	} else {
+		ev.cfg.Structural = nil
 	}
 	if pw, ok := opts.Selector.(poolWirer); ok {
 		opts.Selector = pw.withPool(ev.pool)
@@ -603,7 +720,13 @@ func (isl *island) evaluateAll(genomes []*Genome) ([]*Individual, genCacheStats,
 			ev.pool.Acquire()
 			defer ev.pool.Release()
 			var cursor atomic.Int64
+			// Cancellation: workers re-check the island context per
+			// candidate claim, so a cancelled run stops fanning out within
+			// one candidate's worth of work and releases its pool slots.
 			claim := func() (int, bool) {
+				if isl.ctx.Err() != nil {
+					return 0, false
+				}
 				k := int(cursor.Add(1)) - 1
 				if k >= len(toEval) {
 					return 0, false
@@ -628,6 +751,11 @@ func (isl *island) evaluateAll(genomes []*Genome) ([]*Individual, genCacheStats,
 			}
 			ev.pool.FanOut(width, drain)
 		})
+	}
+	// After a cancelled fan-out some out[i] slots are nil (never claimed);
+	// surface ctx.Err() before the merge walks them.
+	if err := isl.ctx.Err(); err != nil {
+		return nil, gc, err
 	}
 	for _, i := range toEval {
 		if errs[i] != nil {

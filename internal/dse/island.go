@@ -85,8 +85,12 @@ type island struct {
 	idx  int
 	p    *Problem
 	opts Options // Seed already replaced by the island's derived seed
-	rng  *rand.Rand
-	ev   evaluator
+	// src is the island RNG's counted source: rng draws through it, and
+	// the running draw count is what checkpoints serialize in place of
+	// the (unserializable) generator state.
+	src *countingSource
+	rng *rand.Rand
+	ev  evaluator
 	// ctx carries the island's pprof label ("island": idx); evaluateAll
 	// and the nested scenario fan-out stack their phase labels on top.
 	ctx context.Context
@@ -106,20 +110,40 @@ type island struct {
 // to the island.
 func newIsland(idx int, p *Problem, opts Options, seed int64, ev evaluator) *island {
 	opts.Seed = seed
+	base := opts.Context
+	if base == nil {
+		base = context.Background()
+	}
+	src := newCountingSource(seed)
 	isl := &island{
 		idx:  idx,
 		p:    p,
 		opts: opts,
-		rng:  rand.New(rand.NewSource(seed)),
+		src:  src,
+		rng:  rand.New(src),
 		ev:   ev,
-		ctx:  pprof.WithLabels(context.Background(), pprof.Labels("island", strconv.Itoa(idx))),
+		ctx:  pprof.WithLabels(base, pprof.Labels("island", strconv.Itoa(idx))),
 	}
 	if ev.cache != nil {
 		isl.ev.cache = ev.cache.islandView()
 	}
 	isl.ev.cfg.ProfCtx = isl.ctx
+	if opts.Context != nil {
+		// Thread cancellation into the scenario fan-out; left nil
+		// otherwise so uncancellable runs skip the per-chunk Err checks.
+		isl.ev.cfg.Ctx = isl.ctx
+	}
 	isl.stats.TechniqueCounts = map[hardening.Technique]int{}
 	return isl
+}
+
+// record appends one generation to the island's history and forwards it
+// to the run's progress callback (already serialized by Optimize).
+func (isl *island) record(gs GenStat) {
+	isl.history = append(isl.history, gs)
+	if isl.opts.Progress != nil {
+		isl.opts.Progress(gs)
+	}
 }
 
 // prepare finalizes a genome before evaluation: forced keep bits when
@@ -140,6 +164,9 @@ func (isl *island) prepare(g *Genome) *Genome {
 // init builds and evaluates the initial population (heuristic seeds plus
 // random genomes) and selects the first archive — generation 0.
 func (isl *island) init() error {
+	if err := isl.ctx.Err(); err != nil {
+		return err
+	}
 	genomes := make([]*Genome, 0, isl.opts.PopSize)
 	if !isl.opts.NoSeeds {
 		for _, g := range isl.p.SeedGenomes() {
@@ -156,7 +183,7 @@ func (isl *island) init() error {
 		return err
 	}
 	isl.archive = isl.selectArchive(pop)
-	isl.history = append(isl.history, isl.snapshot(0, gc))
+	isl.record(isl.snapshot(0, gc))
 	return nil
 }
 
@@ -165,6 +192,9 @@ func (isl *island) init() error {
 // body of the pre-island generation loop, verbatim.
 func (isl *island) advance(from, to int) error {
 	for gen := from; gen <= to; gen++ {
+		if err := isl.ctx.Err(); err != nil {
+			return err
+		}
 		parents := isl.opts.Selector.Parents(isl.archive, isl.opts.PopSize, isl.rng)
 		offspring := make([]*Genome, 0, isl.opts.PopSize)
 		for i := 0; i < isl.opts.PopSize; i++ {
@@ -180,7 +210,7 @@ func (isl *island) advance(from, to int) error {
 		}
 		union := append(append([]*Individual(nil), isl.archive...), evaluated...)
 		isl.archive = isl.selectArchive(union)
-		isl.history = append(isl.history, isl.snapshot(gen, gc))
+		isl.record(isl.snapshot(gen, gc))
 	}
 	return nil
 }
@@ -357,18 +387,34 @@ func runIslands(p *Problem, opts Options, ev evaluator, res *Result) ([]*Individ
 	for i := range islands {
 		islands[i] = newIsland(i, p, opts, seeds[i], ev)
 		if ev.cache != nil {
-			islands[i].ev.cache = newFitnessCache(opts.FitnessCacheSize)
+			size := opts.FitnessCacheSize
+			if size <= 0 {
+				size = 4096
+			}
+			islands[i].ev.cache = newFitnessCache(size)
 		}
 		if ev.cfg.Structural != nil {
 			islands[i].ev.cfg.Structural = core.NewStructuralCache(opts.StructuralCacheSize)
 		}
 	}
 
-	if err := forEachIsland(islands, func(isl *island) error { return isl.init() }); err != nil {
+	startGen := 1
+	if ck := opts.Resume; ck != nil {
+		// Restore every island to the barrier state (archives, histories,
+		// stats, fast-forwarded RNGs); the leg loop then continues from
+		// the generation after the checkpointed one. Caches start cold —
+		// they never steer trajectories, so the final archive is still
+		// byte-identical to the uninterrupted run's.
+		for i := range islands {
+			restoreIsland(islands[i], &ck.Islands[i])
+		}
+		res.Stats.Migrations = ck.Migrations
+		startGen = ck.Gen + 1
+	} else if err := forEachIsland(islands, func(isl *island) error { return isl.init() }); err != nil {
 		return nil, err
 	}
 	shareCaches(islands)
-	for start := 1; start <= opts.Generations; start += opts.MigrationInterval {
+	for start := startGen; start <= opts.Generations; start += opts.MigrationInterval {
 		end := start + opts.MigrationInterval - 1
 		if end > opts.Generations {
 			end = opts.Generations
@@ -381,6 +427,14 @@ func runIslands(p *Problem, opts Options, ev evaluator, res *Result) ([]*Individ
 				res.Stats.Migrations += migrateRing(islands)
 			})
 			shareCaches(islands)
+			if opts.CheckpointSink != nil {
+				// The barrier is complete (migration applied, snapshots
+				// rebuilt): everything the remaining run depends on is in
+				// the islands' serialized state.
+				if err := opts.CheckpointSink(captureCheckpoint(p, opts, islands, end, res.Stats.Migrations)); err != nil {
+					return nil, fmt.Errorf("dse: checkpoint sink: %w", err)
+				}
+			}
 		}
 	}
 

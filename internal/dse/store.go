@@ -1,0 +1,42 @@
+package dse
+
+// FitnessStore is an exported handle on the fitness-memoization store,
+// letting a long-lived caller — the analysis service — share one store
+// across many Optimize runs over the same problem, so a genome
+// evaluated by an earlier job is a cache hit in a later one.
+//
+// Sharing is sound for the same reason in-run memoization is: evaluation
+// is pure per genome (for a fixed problem and trajectory-relevant
+// options), and hits are replayed as fresh Individuals, so a warm store
+// changes hit/miss counters but never the optimization trajectory. One
+// store must serve only runs over the same problem (architecture,
+// applications, chromosome caps) with the same TrackDroppingGain
+// setting — FeasibleNoDrop is stored per entry and is garbage under the
+// other setting; keying stores by problem fingerprint plus that flag is
+// the caller's job (see internal/service).
+//
+// The store is goroutine-safe; concurrent runs may share it. It takes
+// effect on single-island runs (Options.FitnessStore); multi-island runs
+// keep their private per-island caches, whose counter determinism
+// depends on not sharing mutable stores (DESIGN.md §7.9).
+type FitnessStore struct {
+	s *fitnessStore
+}
+
+// NewFitnessStore builds a shared store bounding at most capacity
+// memoized genomes (the same bound Options.FitnessCacheSize applies to
+// a run-private cache).
+func NewFitnessStore(capacity int) *FitnessStore {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &FitnessStore{s: newFitnessStore(capacity)}
+}
+
+// Len returns the number of memoized evaluations currently retained.
+func (f *FitnessStore) Len() int {
+	if f == nil {
+		return 0
+	}
+	return f.s.size()
+}

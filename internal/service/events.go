@@ -1,0 +1,75 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// handleJobEvents streams a job's per-generation GenStats: everything
+// recorded so far is replayed first, then live events follow until the
+// job reaches a terminal state (which is itself the last event) or the
+// client disconnects. The default framing is NDJSON (one JSON event per
+// line); clients sending "Accept: text/event-stream" get SSE framing
+// instead.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	write := func(ev jobEvent) bool {
+		body, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			if _, err := w.Write(append(append([]byte("data: "), body...), '\n', '\n')); err != nil {
+				return false
+			}
+		} else if _, err := w.Write(append(body, '\n')); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	replay, ch := j.subscribe()
+	for _, ev := range replay {
+		if !write(ev) {
+			if ch != nil {
+				j.unsubscribe(ch)
+			}
+			return
+		}
+	}
+	if ch == nil {
+		return // the job had already finished; replay ended with the terminal event
+	}
+	defer j.unsubscribe(ch)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return // terminal event delivered
+			}
+			if !write(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mcmap/internal/dse"
+)
+
+// Job states.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+// errQueueFull is the backpressure signal: the bounded queue rejected the
+// task, and the handler answers 429 with a Retry-After hint.
+var errQueueFull = errors.New("service: job queue is full")
+
+// task is one unit of queued work. Analyze requests and DSE jobs share
+// the queue (and its backpressure), but analyses take priority: a daemon
+// grinding through a long optimization must still answer interactive
+// analysis requests promptly.
+type task struct {
+	analyze bool
+	run     func()
+	job     *job // nil for analyze tasks
+}
+
+// jobQueue is the bounded two-priority queue feeding the runner
+// goroutines. Depth bounds QUEUED tasks only — running tasks have left
+// the queue — so the admission bound the daemon advertises is
+// depth + runners.
+type jobQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	depth   int
+	analyze []task
+	dse     []task
+	closed  bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	q := &jobQueue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) push(t task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("service: shutting down")
+	}
+	if len(q.analyze)+len(q.dse) >= q.depth {
+		return errQueueFull
+	}
+	if t.analyze {
+		q.analyze = append(q.analyze, t)
+	} else {
+		q.dse = append(q.dse, t)
+	}
+	// Broadcast, not Signal: a single wakeup can land on the reserved
+	// analyze-only runner, which cannot take a DSE task and goes back to
+	// sleep — losing the wakeup while the eligible runners keep waiting.
+	q.cond.Broadcast()
+	return nil
+}
+
+// pop blocks for the next task, preferring the analyze list. A runner
+// with analyzeOnly set never takes DSE work — one runner stays reserved
+// so queued analyses cannot sit behind long optimizations on every
+// runner at once. Returns false when the queue shuts down.
+func (q *jobQueue) pop(analyzeOnly bool) (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.analyze) > 0 {
+			t := q.analyze[0]
+			q.analyze = q.analyze[1:]
+			return t, true
+		}
+		if !analyzeOnly && len(q.dse) > 0 {
+			t := q.dse[0]
+			q.dse = q.dse[1:]
+			return t, true
+		}
+		if q.closed {
+			return task{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close rejects future pushes, wakes every runner, and returns the tasks
+// still queued so the caller can fail them out.
+func (q *jobQueue) close() []task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	drained := append(append([]task(nil), q.analyze...), q.dse...)
+	q.analyze, q.dse = nil, nil
+	q.cond.Broadcast()
+	return drained
+}
+
+func (q *jobQueue) lengths() (analyze, dseJobs int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.analyze), len(q.dse)
+}
+
+// job is one asynchronous DSE run: its lifecycle state, the event stream
+// fed by the engine's progress callback, the latest barrier checkpoint
+// (what /jobs/{id}/resume restarts from) and, once finished, the
+// marshaled result.
+type job struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   string
+	errMsg  string
+	events  []dse.GenStat
+	subs    map[chan jobEvent]bool
+	result  []byte // marshaled dseResult, state == done
+	ck      []byte // latest encoded checkpoint (resume input)
+	ckGen   int
+	resumed string // id of the job this one resumed from, if any
+
+	// The run inputs, kept for /resume.
+	spec   *specBundle
+	params dseParams
+}
+
+// jobEvent is one streamed event: a generation record or the terminal
+// state change.
+type jobEvent struct {
+	Type string       `json:"type"` // "gen" | "done" | "failed" | "cancelled"
+	Gen  *dse.GenStat `json:"gen,omitempty"`
+	Err  string       `json:"error,omitempty"`
+}
+
+// subscribe registers a live event channel and returns it along with a
+// replay of everything recorded so far (terminal state included). The
+// channel is buffered; a subscriber that falls eventsBuffer behind the
+// engine loses events silently — the stream is advisory, the job record
+// is authoritative.
+func (j *job) subscribe() (replay []jobEvent, ch chan jobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.events {
+		replay = append(replay, jobEvent{Type: "gen", Gen: &j.events[i]})
+	}
+	if ev, terminal := j.terminalEventLocked(); terminal {
+		replay = append(replay, ev)
+		return replay, nil
+	}
+	ch = make(chan jobEvent, eventsBuffer)
+	j.subs[ch] = true
+	return replay, ch
+}
+
+const eventsBuffer = 1024
+
+func (j *job) unsubscribe(ch chan jobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+func (j *job) terminalEventLocked() (jobEvent, bool) {
+	switch j.state {
+	case stateDone:
+		return jobEvent{Type: "done"}, true
+	case stateFailed:
+		return jobEvent{Type: "failed", Err: j.errMsg}, true
+	case stateCancelled:
+		return jobEvent{Type: "cancelled"}, true
+	}
+	return jobEvent{}, false
+}
+
+// publishLocked fans one event out to every subscriber (dropping it for
+// subscribers whose buffer is full) and, for terminal events, closes the
+// stream. Caller holds j.mu — recording and fan-out happen under one
+// critical section, so a subscriber registering concurrently sees every
+// event exactly once (in the replay or live, never both).
+func (j *job) publishLocked(ev jobEvent) {
+	terminal := ev.Type != "gen"
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // lagging subscriber: drop, never block the engine
+		}
+		if terminal {
+			close(ch)
+			delete(j.subs, ch)
+		}
+	}
+}
+
+// recordGen appends one generation to the job record and streams it.
+// Called from the engine's (already serialized) progress callback.
+func (j *job) recordGen(gs dse.GenStat) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, gs)
+	j.publishLocked(jobEvent{Type: "gen", Gen: &gs})
+}
+
+// recordCheckpoint stores the latest barrier checkpoint (already
+// encoded). Only the newest is kept: resuming replays at most one leg.
+func (j *job) recordCheckpoint(gen int, encoded []byte) {
+	j.mu.Lock()
+	j.ck = encoded
+	j.ckGen = gen
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and emits the terminal event.
+// A job cancelled while running reports cancelled even though the engine
+// surfaced context.Canceled as an error.
+func (j *job) finish(result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == stateDone || j.state == stateFailed || j.state == stateCancelled {
+		return // already settled (e.g. cancelled while queued)
+	}
+	switch {
+	case err == nil:
+		j.state = stateDone
+		j.result = result
+	case errors.Is(err, context.Canceled):
+		j.state = stateCancelled
+	default:
+		j.state = stateFailed
+		j.errMsg = err.Error()
+	}
+	ev, _ := j.terminalEventLocked()
+	j.publishLocked(ev)
+}
+
+// jobStatus is the /jobs/{id} response.
+type jobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Error       string `json:"error,omitempty"`
+	Generations int    `json:"generations"`
+	// CheckpointGen is the generation of the newest retained barrier
+	// checkpoint (0 when none yet); POST /jobs/{id}/resume restarts a
+	// cancelled or failed job from it.
+	CheckpointGen int             `json:"checkpoint_gen"`
+	ResumedFrom   string          `json:"resumed_from,omitempty"`
+	Result        json.RawMessage `json:"result,omitempty"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID:            j.id,
+		State:         j.state,
+		Error:         j.errMsg,
+		Generations:   len(j.events),
+		CheckpointGen: j.ckGen,
+		ResumedFrom:   j.resumed,
+		Result:        json.RawMessage(j.result),
+	}
+}
+
+// jobTable indexes jobs by ID.
+type jobTable struct {
+	mu   sync.Mutex
+	next int
+	byID map[string]*job
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{byID: make(map[string]*job)}
+}
+
+func (t *jobTable) add(j *job) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	j.id = fmt.Sprintf("j%d", t.next)
+	t.byID[j.id] = j
+	return j.id
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.byID[id]
+	return j, ok
+}
+
+func (t *jobTable) all() []*job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*job, 0, len(t.byID))
+	for _, j := range t.byID {
+		out = append(out, j)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package validate
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mcmap/internal/model"
+)
+
+// specA is a small two-graph spec in one particular JSON spelling.
+const specA = `{
+  "architecture": {
+    "name": "quad",
+    "procs": [
+      {"id": 0, "name": "p0", "type": "big", "static_power": 0.4, "dyn_power": 1.2, "fault_rate": 1e-9},
+      {"id": 1, "name": "p1", "type": "little", "static_power": 0.2, "dyn_power": 0.7, "fault_rate": 2e-9, "speed": 0.5}
+    ],
+    "fabric": {"kind": 1, "bandwidth": 100, "base_latency": 2}
+  },
+  "apps": {
+    "graphs": [
+      {
+        "name": "ctrl", "period": 10000, "reliability_bound": 1e-12,
+        "tasks": [
+          {"id": "ctrl/a", "name": "a", "bcet": 100, "wcet": 200, "vote_overhead": 10, "detect_overhead": 5},
+          {"id": "ctrl/b", "name": "b", "bcet": 50, "wcet": 120, "vote_overhead": 10, "detect_overhead": 5, "allowed_types": ["big", "little"]}
+        ],
+        "channels": [{"src": "ctrl/a", "dst": "ctrl/b", "size": 64}]
+      },
+      {
+        "name": "media", "period": 20000, "reliability_bound": -1, "service": 3,
+        "tasks": [{"id": "media/x", "name": "x", "bcet": 10, "wcet": 400, "vote_overhead": 0, "detect_overhead": 0}],
+        "channels": []
+      }
+    ]
+  },
+  "mapping": {"ctrl/a": 0, "ctrl/b": 1, "media/x": 0}
+}`
+
+// specAReordered is the same instance with every reorderable element
+// reordered: JSON object keys permuted, the processor / graph / task /
+// channel arrays shuffled, the allowed-types list reversed, and the
+// legacy Shared alias spelling the same shared-bus fabric.
+const specAReordered = `{
+  "mapping": {"media/x": 0, "ctrl/b": 1, "ctrl/a": 0},
+  "apps": {
+    "graphs": [
+      {
+        "service": 3, "reliability_bound": -1, "period": 20000, "name": "media",
+        "channels": [],
+        "tasks": [{"detect_overhead": 0, "vote_overhead": 0, "wcet": 400, "bcet": 10, "name": "x", "id": "media/x"}]
+      },
+      {
+        "reliability_bound": 1e-12, "period": 10000, "name": "ctrl", "deadline": 10000,
+        "tasks": [
+          {"allowed_types": ["little", "big"], "detect_overhead": 5, "vote_overhead": 10, "wcet": 120, "bcet": 50, "name": "b", "id": "ctrl/b"},
+          {"detect_overhead": 5, "vote_overhead": 10, "wcet": 200, "bcet": 100, "name": "a", "id": "ctrl/a"}
+        ],
+        "channels": [{"size": 64, "dst": "ctrl/b", "src": "ctrl/a"}]
+      }
+    ]
+  },
+  "architecture": {
+    "fabric": {"base_latency": 2, "bandwidth": 100, "shared": true},
+    "procs": [
+      {"speed": 0.5, "fault_rate": 2e-9, "dyn_power": 0.7, "static_power": 0.2, "type": "little", "name": "p1", "id": 1},
+      {"fault_rate": 1e-9, "dyn_power": 1.2, "static_power": 0.4, "type": "big", "name": "p0", "id": 0, "speed": 1.0}
+    ],
+    "name": "quad"
+  }
+}`
+
+func decodeSpec(t *testing.T, raw string) *model.Spec {
+	t.Helper()
+	var s model.Spec
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		t.Fatalf("decoding spec: %v", err)
+	}
+	return &s
+}
+
+func TestFingerprintCanonicalization(t *testing.T) {
+	a := Fingerprint(decodeSpec(t, specA))
+	b := Fingerprint(decodeSpec(t, specAReordered))
+	if a != b {
+		t.Fatalf("semantically identical specs fingerprint differently:\n a=%s\n b=%s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint is not a sha256 hex digest: %q", a)
+	}
+	// Determinism across repeated calls on the same value.
+	if again := Fingerprint(decodeSpec(t, specA)); again != a {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, again)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(decodeSpec(t, specA))
+	mutate := func(name string, f func(*model.Spec)) {
+		s := decodeSpec(t, specA)
+		f(s)
+		if got := Fingerprint(s); got == base {
+			t.Errorf("%s: fingerprint unchanged by semantic mutation", name)
+		}
+	}
+	mutate("wcet", func(s *model.Spec) { s.Apps.Graphs[0].Tasks[0].WCET++ })
+	mutate("period", func(s *model.Spec) { s.Apps.Graphs[1].Period *= 2 })
+	mutate("fault-rate", func(s *model.Spec) { s.Architecture.Procs[0].FaultRate *= 10 })
+	mutate("fabric", func(s *model.Spec) { s.Architecture.Fabric.Bandwidth = 50 })
+	mutate("mapping", func(s *model.Spec) { s.Mapping["ctrl/a"] = 1 })
+	mutate("drop-mapping", func(s *model.Spec) { s.Mapping = nil })
+	mutate("reexec", func(s *model.Spec) { s.Apps.Graphs[0].Tasks[1].ReExec = 2 })
+	mutate("allowed-types", func(s *model.Spec) { s.Apps.Graphs[0].Tasks[1].AllowedTypes = []string{"big"} })
+	mutate("service", func(s *model.Spec) { s.Apps.Graphs[1].Service = 4 })
+}
+
+func TestFingerprintSemanticDefaults(t *testing.T) {
+	// A zero deadline means "deadline == period"; spelling it explicitly
+	// is the same instance.
+	s1 := decodeSpec(t, specA)
+	s2 := decodeSpec(t, specA)
+	s2.Apps.Graphs[0].Deadline = s2.Apps.Graphs[0].Period
+	if Fingerprint(s1) != Fingerprint(s2) {
+		t.Errorf("implicit and explicit deadlines fingerprint differently")
+	}
+	// Speed zero means 1.0.
+	s3 := decodeSpec(t, specA)
+	s3.Architecture.Procs[0].Speed = 1.0
+	if Fingerprint(s1) != Fingerprint(s3) {
+		t.Errorf("implicit and explicit unit speeds fingerprint differently")
+	}
+}
+
+func TestFingerprintMalformed(t *testing.T) {
+	// Must not panic on nil or partial specs, and distinct shapes must
+	// not collide with each other.
+	fps := []string{
+		Fingerprint(nil),
+		Fingerprint(&model.Spec{}),
+		Fingerprint(&model.Spec{Architecture: &model.Architecture{}}),
+		Fingerprint(&model.Spec{Apps: &model.AppSet{Graphs: []*model.TaskGraph{nil}}}),
+		Fingerprint(&model.Spec{Apps: &model.AppSet{Graphs: []*model.TaskGraph{{Tasks: []*model.Task{nil}}}}}),
+		Fingerprint(&model.Spec{Mapping: model.Mapping{}}),
+	}
+	seen := map[string]int{}
+	for i, fp := range fps {
+		if j, dup := seen[fp]; dup {
+			t.Errorf("distinct malformed specs %d and %d collide: %s", i, j, fp)
+		}
+		seen[fp] = i
+	}
+}
