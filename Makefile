@@ -2,7 +2,11 @@
 # extra dependencies are required.
 
 GO         ?= go
-BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkAnalyzeBatch|BenchmarkCompiledKernel|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache|BenchmarkIslandDSE|BenchmarkSPEA2Select|BenchmarkDaemonWarmVsCold
+BENCH      ?= BenchmarkAnalyzeParallel|BenchmarkAnalyzeIncremental|BenchmarkAnalyzeBatch|BenchmarkCompiledKernel|BenchmarkScenarioDedup|BenchmarkDSEMemoization|BenchmarkAlgorithm1|BenchmarkHolistic|BenchmarkWorstFinishKernel|BenchmarkStructuralCache|BenchmarkIslandDSE|BenchmarkSPEA2Select|BenchmarkDaemonWarmVsCold|BenchmarkGenerationBatching|BenchmarkDistributedTransport
+# BENCHPKGS lists every package contributing guarded benchmarks: the
+# root integration benchmarks plus the dse package's evaluation-primitive
+# benchmarks.
+BENCHPKGS  ?= . ./internal/dse
 BENCHCOUNT ?= 3
 BENCHOUT   ?= BENCH_core.json
 FUZZTIME   ?= 20s
@@ -45,7 +49,7 @@ fuzz:
 # take the minimum ns/op, which is the least noise-contaminated
 # estimate on a shared machine.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCHCOUNT) . | tee bench.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCHCOUNT) $(BENCHPKGS) | tee bench.txt
 	$(GO) tool test2json < bench.txt > $(BENCHOUT)
 	@rm -f bench.txt
 	@echo "wrote $(BENCHOUT)"
@@ -60,13 +64,17 @@ bench:
 # absorb): workers=8 must stay within 10% of workers=1 even on a
 # single-core host (the fan-out clamps to the schedulable
 # parallelism). The island gate compares islands=4 against running the
-# same four trajectories sequentially — within 30%. Same gate CI runs;
-# see .github/workflows/ci.yml.
+# same four trajectories sequentially — within 30%. The batching gate
+# reads batched_over_percand from the dse package's evaluation-primitive
+# benchmark: generation-batched evaluation must stay at least 1.2x
+# faster than per-candidate on a same-system cohort generation. The
+# transport gate bounds persistent-TCP distributed runs against the
+# fork/exec pipe mode. Same gates CI runs; see .github/workflows/ci.yml.
 benchguard:
-	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkAnalyzeParallel|BenchmarkIslandDSE|BenchmarkSPEA2Select|BenchmarkDaemonWarmVsCold' -count 3 -json . > bench_current.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkAnalyzeParallel|BenchmarkIslandDSE|BenchmarkSPEA2Select|BenchmarkDaemonWarmVsCold|BenchmarkGenerationBatching|BenchmarkDistributedTransport' -count 3 -json $(BENCHPKGS) > bench_current.json
 	$(GO) run ./cmd/benchguard -baseline $(BENCHOUT) -current bench_current.json \
 		-threshold 15 -require 'BenchmarkAlgorithm1Scaling|BenchmarkHolisticBackend|BenchmarkCompiledKernel|BenchmarkIslandDSE/islands=1|BenchmarkSPEA2Select' \
-		-ratio 'BenchmarkAnalyzeParallel/tasks=162/scenarios=15/workers=8vs1:w8_over_w1<=1.10,BenchmarkIslandDSE/islands=4<=1.30*BenchmarkIslandDSE/islands=1,BenchmarkDaemonWarmVsCold:warm_over_cold<=0.20'
+		-ratio 'BenchmarkAnalyzeParallel/tasks=162/scenarios=15/workers=8vs1:w8_over_w1<=1.10,BenchmarkIslandDSE/islands=4<=1.30*BenchmarkIslandDSE/islands=1,BenchmarkDaemonWarmVsCold:warm_over_cold<=0.20,BenchmarkGenerationBatching:batched_over_percand<=0.83,BenchmarkDistributedTransport/transport=tcp<=1.10*BenchmarkDistributedTransport/transport=pipe'
 	@rm -f bench_current.json
 
 # profile captures cpu, mutex and block profiles of the two

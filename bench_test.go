@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -951,6 +952,56 @@ func BenchmarkPolicyAblation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Distributed transport: pipe vs TCP --------------------------------------
+
+// BenchmarkDistributedTransport runs the identical distributed-island
+// optimization over both transports: re-exec'd child processes speaking
+// length-prefixed gob over pipes, and persistent TCP connections to an
+// in-process ServeIslands fleet worker (what `mcmapd -worker` serves).
+// Archives are byte-identical across transports and to the in-process
+// mode (TestFleetMatchesInProcess); the gap is pure transport cost —
+// and the per-run process spawn the pipe mode pays. benchguard asserts
+// the TCP path never regresses past the pipe path: persistent pooled
+// connections must beat fork/exec per run.
+func BenchmarkDistributedTransport(b *testing.B) {
+	bench := benchmarks.DTMed()
+	p, err := dse.NewProblem(bench.Arch, bench.Apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := dse.Options{PopSize: 24, Generations: 6, Seed: 1,
+		Islands: 2, MigrationInterval: 3, Workers: 2}
+	b.Run("transport=pipe", func(b *testing.B) {
+		opts := base
+		opts.Distributed = true
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.Optimize(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("transport=tcp", func(b *testing.B) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		go dse.ServeIslands(l)
+		opts := base
+		opts.IslandHosts = []string{l.Addr().String()}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := dse.Optimize(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.IslandTakeovers != 0 {
+				b.Fatal("loopback fleet run lost a worker")
+			}
+		}
+	})
 }
 
 // --- mcmapd: warm vs cold ----------------------------------------------------

@@ -35,6 +35,7 @@ func main() {
 	islands := flag.Int("islands", 1, "concurrent GA islands sharing the worker budget and caches (1 = the classic single trajectory; per-island seeds derive from -seed)")
 	migrationInterval := flag.Int("migration-interval", 10, "generations between Pareto-elite ring migrations (multi-island runs)")
 	islandProcs := flag.Bool("island-procs", false, "run each island in its own child process (multicore scaling past the shared Go heap); archives are byte-identical to the in-process mode")
+	islandHosts := flag.String("island-hosts", "", "comma-separated fleet worker addresses (host:port of `mcmapd -worker` processes) to run island legs on; archives are byte-identical to the in-process mode, and a lost worker's island is recomputed locally")
 	noDrop := flag.Bool("nodrop", false, "disable task dropping (T_d always empty)")
 	track := flag.Bool("track", false, "track the dropping-rescue ratio (doubles analysis cost)")
 	prune := flag.Bool("prune", false, "skip dominated fault scenarios inside every fitness evaluation (same WCRTs and verdicts; fewer backend runs)")
@@ -99,6 +100,7 @@ func main() {
 	res, err := mcmap.Optimize(p, mcmap.DSEOptions{
 		PopSize: *pop, Generations: *gens, Seed: *seed, Workers: *workers,
 		Islands: *islands, MigrationInterval: *migrationInterval, Distributed: *islandProcs,
+		IslandHosts:     splitHosts(*islandHosts),
 		DisableDropping: *noDrop, TrackDroppingGain: *track, PruneDominated: *prune,
 		DisableCompiled: !*compiled,
 	})
@@ -172,6 +174,19 @@ func main() {
 		}
 		fmt.Printf("\nbest design written to %s\n", *out)
 	}
+}
+
+func splitHosts(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var hosts []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
 }
 
 // fatal flushes any in-flight profiles (os.Exit skips defers) and dies.

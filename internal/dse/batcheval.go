@@ -1,0 +1,299 @@
+package dse
+
+// Generation-batched evaluation: instead of running every cache-miss
+// candidate through its own Decode→Apply→Compile→Analyze pipeline,
+// evaluateAll groups the generation's candidates by the system they
+// compile to and evaluates each group against ONE compiled lowering —
+// the DSE-side twin of core.AnalyzeBatch, which pioneered the
+// one-lowering-many-evaluations economics for exec-bound sweeps. The
+// grouping exploits what the chromosome encoding leaves out of the
+// compiled system:
+//
+//   - the Keep section selects the drop set but never changes the
+//     compiled job set or mapping, so same-system candidates differing
+//     only in Keep share the compile, the reliability assessment and the
+//     compiled lowering, and differ only in which core.Analyze drop sets
+//     they need — one analysis per DISTINCT drop set, reused by every
+//     sibling carrying it;
+//   - the Alloc section gates structural validity and power but never
+//     enters the compiled system either;
+//   - don't-care loci (ReplicaMap tails beyond Replicas, K under
+//     replication, Map under replication, voters of unreplicated tasks)
+//     are mutated freely by the GA but are invisible to the phenotype —
+//     candidates equal up to don't-care bits are full phenotype
+//     duplicates and replay a sibling's Individual outright.
+//
+// Sharing one *platform.System pointer across a group is what engages
+// the compiled engine's per-system lowering cache (Config.engageCompiled
+// keys by system identity, exactly as one core.AnalyzeBatch call does):
+// the group is lowered once instead of once per member. Every shared
+// artifact is identical to what a member's private evaluation would have
+// produced — compilation, assessment and analysis are pure functions of
+// (system, drop set) — so batched and per-candidate evaluation yield
+// byte-identical Individuals and archives (pinned by
+// TestBatchedMatchesPerCandidate); only the structural/scenario counters
+// may differ, because shared analyses run the backend fewer times.
+//
+// Determinism: groups are formed sequentially over the ShapeKey-sorted
+// miss list (first-appearance order), members evaluate in list order
+// within their group, and groups — not candidates — are what the phase-2
+// fan-out distributes, so all sharing decisions are worker-count
+// independent and the batch counters are exactly reproducible (the
+// island trajectory tests cover this at every worker width).
+
+import (
+	"sort"
+	"strconv"
+
+	"mcmap/internal/core"
+	"mcmap/internal/hardening"
+	"mcmap/internal/model"
+	"mcmap/internal/platform"
+	"mcmap/internal/power"
+	"mcmap/internal/reliability"
+)
+
+// sysKey fingerprints everything that determines the system a genome
+// compiles to — the hardening plan and the effective mapping — and
+// nothing else: Keep, Alloc and don't-care loci are excluded, mirroring
+// exactly what Decode feeds platform.Compile. Genes are normalized the
+// way Decode normalizes them (validateGene on a copy), so clamped
+// out-of-range parameters land in the same group as their clamped twins.
+// The key is an exact string, not a hash: group sharing replays real
+// results, so collisions are not an option.
+func (p *Problem) sysKey(g *Genome) string {
+	buf := make([]byte, 0, len(g.Genes)*8)
+	for i := range g.Genes {
+		ge := g.Genes[i]
+		p.validateGene(&ge)
+		buf = append(buf, byte(ge.Technique), ':')
+		switch ge.Technique {
+		case hardening.ActiveReplication, hardening.PassiveReplication:
+			for r := 0; r < ge.Replicas; r++ {
+				buf = strconv.AppendInt(buf, int64(ge.ReplicaMap[r]), 10)
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(ge.VoterMap), 10)
+		case hardening.ReExecution:
+			buf = strconv.AppendInt(buf, int64(ge.K), 10)
+			buf = append(buf, ',')
+			buf = strconv.AppendInt(buf, int64(ge.Map), 10)
+		default:
+			buf = strconv.AppendInt(buf, int64(ge.Map), 10)
+		}
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// bitsKey renders a bool section as an exact key fragment.
+func bitsKey(bs []bool) string {
+	buf := make([]byte, len(bs))
+	for i, b := range bs {
+		buf[i] = '0' + boolByte(b)
+	}
+	return string(buf)
+}
+
+// batchGroup is one same-system cohort of a generation's cache misses.
+// Members are genome indices in deterministic (ShapeKey-sorted) batch
+// order; drop and pheno carry each member's drop-set key and full
+// phenotype key, parallel to members.
+type batchGroup struct {
+	members []int
+	drop    []string
+	pheno   []string
+	// hits counts members served by a sibling: phenotype replays plus
+	// shared-analysis members (distinct Alloc/Keep over a shared system).
+	hits int
+}
+
+// buildBatchGroups partitions the miss list by compiled system in
+// first-appearance order. toEval must already be in its final
+// (deterministic) order; the grouping never reorders members.
+func buildBatchGroups(p *Problem, genomes []*Genome, toEval []int) []*batchGroup {
+	bySys := make(map[string]*batchGroup, len(toEval))
+	groups := make([]*batchGroup, 0, len(toEval))
+	for _, i := range toEval {
+		sk := p.sysKey(genomes[i])
+		grp := bySys[sk]
+		if grp == nil {
+			grp = &batchGroup{}
+			bySys[sk] = grp
+			groups = append(groups, grp)
+		}
+		dk := bitsKey(genomes[i].Keep)
+		grp.members = append(grp.members, i)
+		grp.drop = append(grp.drop, dk)
+		grp.pheno = append(grp.pheno, sk+"|"+dk+"|"+bitsKey(genomes[i].Alloc))
+	}
+	return groups
+}
+
+// groupReports is one drop set's analysis results within a group: the
+// dropping report and (under TrackDroppingGain) the no-dropping one.
+type groupReports struct {
+	rep   *core.Report
+	repND *core.Report
+}
+
+// groupShared is the state one batch group accumulates while its members
+// evaluate: the compiled system (one lowering for the whole group), the
+// reliability assessment (a function of manifest + mapping, both shared)
+// and the per-drop-set reports. Built lazily by the first member that
+// passes the structural-validity gate; members run sequentially within
+// their group, so no locking.
+type groupShared struct {
+	sys  *platform.System
+	rel  *reliability.Assessment
+	reps map[string]*groupReports
+}
+
+// evalGroup evaluates one batch group: members run sequentially in
+// member order, replaying full phenotype duplicates and sharing the
+// compile/assessment/analyses through st. Results and errors land in
+// out/errs by genome index, exactly like the per-candidate drain.
+func (isl *island) evalGroup(grp *batchGroup, genomes []*Genome, out []*Individual, errs []error) {
+	st := &groupShared{reps: make(map[string]*groupReports, 2)}
+	byPheno := make(map[string]int, len(grp.members))
+	for n, i := range grp.members {
+		if isl.ctx.Err() != nil {
+			return
+		}
+		if j, ok := byPheno[grp.pheno[n]]; ok {
+			// Full phenotype duplicate: replay the sibling. cloneFor
+			// copies the scenario tally, which the sibling may legitimately
+			// carry; this member ran no backend, so zero it.
+			c := out[j].cloneFor(genomes[i])
+			c.scen = scenarioTally{}
+			out[i] = c
+			grp.hits++
+			continue
+		}
+		var shared bool
+		out[i], shared, errs[i] = isl.p.evaluateGrouped(genomes[i], grp.drop[n], isl.opts.TrackDroppingGain, isl.ev.cfg, st)
+		if errs[i] == nil {
+			byPheno[grp.pheno[n]] = i
+			if shared {
+				grp.hits++
+			}
+		}
+	}
+}
+
+// evaluateGrouped is the group-aware twin of Problem.evaluate: identical
+// step for step, except that the compile, the reliability assessment and
+// the per-drop-set analyses come from (or seed) the group's shared
+// state. The returned shared flag reports whether this member reused a
+// sibling's analysis instead of running the backend.
+func (p *Problem) evaluateGrouped(g *Genome, dropKey string, trackNoDrop bool, cfg core.Config, st *groupShared) (*Individual, bool, error) {
+	ph, err := p.Decode(g)
+	if err != nil {
+		return nil, false, err
+	}
+	ind := &Individual{Genome: g, Service: ph.Service}
+	for name := range ph.Dropped {
+		ind.Dropped = append(ind.Dropped, name)
+	}
+	sort.Strings(ind.Dropped)
+
+	// Structural validity is per member — Alloc is outside the group key.
+	structuralOK := true
+	seenReplica := map[model.TaskID]map[model.ProcID]bool{}
+	for id, pid := range ph.Mapping {
+		if !ph.Alloc[pid] {
+			structuralOK = false
+			break
+		}
+		orig := ph.Manifest.OriginalOf(id)
+		if orig != id {
+			gr := ph.Manifest.Apps.GraphOf(id)
+			if gr != nil {
+				if task := gr.Task(id); task != nil && task.Kind == model.KindReplica {
+					if seenReplica[orig] == nil {
+						seenReplica[orig] = map[model.ProcID]bool{}
+					}
+					if seenReplica[orig][pid] {
+						structuralOK = false
+						break
+					}
+					seenReplica[orig][pid] = true
+				}
+			}
+		}
+	}
+	if !structuralOK {
+		ind.Power = infeasiblePenalty * 4
+		ind.Objectives = Objectives{ind.Power, infeasiblePenalty}
+		return ind, false, nil
+	}
+
+	if st.sys == nil {
+		// First structurally valid member compiles and assesses for the
+		// whole group. Both are functions of the manifest and mapping,
+		// which every member shares by construction of the group key.
+		sys, err := p.Compile(ph)
+		if err != nil {
+			return nil, false, err
+		}
+		rel, err := reliability.Assess(p.Arch, ph.Manifest, ph.Mapping)
+		if err != nil {
+			return nil, false, err
+		}
+		st.sys, st.rel = sys, rel
+	}
+	sys, rel := st.sys, st.rel
+
+	gr, shared := st.reps[dropKey], true
+	if gr == nil {
+		shared = false
+		rep, err := core.Analyze(sys, ph.Dropped, cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		ind.scen.add(rep)
+		gr = &groupReports{rep: rep}
+		if trackNoDrop {
+			repND, err := core.Analyze(sys, core.DropSet{}, cfg)
+			if err != nil {
+				return nil, false, err
+			}
+			ind.scen.add(repND)
+			gr.repND = repND
+		}
+		st.reps[dropKey] = gr
+	}
+	rep := gr.rep
+	ind.GraphWCRT = rep.GraphWCRT
+	ind.Feasible = rep.Feasible() && rel.OK()
+	if trackNoDrop {
+		ind.FeasibleNoDrop = gr.repND.Feasible() && rel.OK()
+	}
+
+	if ind.Feasible {
+		pw, err := power.Expected(p.Arch, ph.Manifest, ph.Mapping, ph.Alloc)
+		if err != nil {
+			return nil, false, err
+		}
+		ind.Power = pw.Total
+		ind.Objectives = Objectives{pw.Total, -ph.Service}
+		return ind, shared, nil
+	}
+	// Penalty with an overrun gradient — identical to Problem.evaluate.
+	overrun := 0.0
+	for gi, gph := range sys.Apps.Graphs {
+		w := rep.GraphWCRT[gi]
+		d := gph.EffectiveDeadline()
+		if w.IsInfinite() {
+			overrun += 10
+		} else if w > d {
+			overrun += float64(w-d) / float64(d)
+		}
+	}
+	if !rel.OK() {
+		overrun += float64(len(rel.Violations))
+	}
+	ind.Power = infeasiblePenalty * (1 + overrun)
+	ind.Objectives = Objectives{ind.Power, infeasiblePenalty}
+	return ind, shared, nil
+}

@@ -1,65 +1,68 @@
 package dse
 
-// This file implements the multi-process island mode: each island of a
-// distributed run lives in its own child process (a re-exec of the
-// current binary), and the parent coordinates legs, ring migration and
-// the final merge over length-prefixed gob frames on the children's
-// stdin/stdout pipes. The orchestration mirrors runIslands exactly —
+// This file implements the distributed island mode: each island of a
+// distributed run lives outside the coordinating goroutine — in a child
+// process on the same machine (pipe transport, a re-exec of the current
+// binary) or on a fleet worker reached over TCP (Options.IslandHosts,
+// served by ServeIslands / mcmapd -worker) — and the coordinator drives
+// legs, ring migration and the final merge over length-prefixed gob
+// frames (transport.go). The orchestration mirrors runIslands exactly —
 // same derived seeds, same leg boundaries, same migration quirks, same
 // slot-order stats merge — so the archives of a distributed run are
 // byte-identical to the in-process mode for any given seed (pinned by
-// TestDistributedMatchesInProcess). Only the cache COUNTERS may differ:
-// processes share no fitness/structural snapshots, so a genome that was
-// a cross-island snapshot hit in-process is simply re-evaluated — to
-// the same values, since evaluation is pure per genome.
+// TestDistributedMatchesInProcess and TestFleetMatchesInProcess). Only
+// the cache COUNTERS may differ: workers share no fitness/structural
+// snapshots, so a genome that was a cross-island snapshot hit in-process
+// is simply re-evaluated — to the same values, since evaluation is pure
+// per genome.
 //
-// Protocol. Every frame is a 4-byte big-endian length followed by one
-// gob-encoded wireMsg. The parent speaks first and every request gets
-// exactly one reply, so the conversation per child is strictly
-// half-duplex and deadlock-free:
+// Protocol. Every frame is a 4-byte big-endian length (bit 31 marks
+// flate compression) followed by one gob-encoded wireMsg. The
+// coordinator speaks first and every request gets exactly one reply —
+// TCP workers may interleave kindPing liveness frames, which transports
+// swallow — so the conversation per worker is strictly half-duplex and
+// deadlock-free:
 //
-//	parent → child        child → parent
+//	coordinator → worker   worker → coordinator
 //	init{spec,opts,i,s} → ack          (island built, generation 0 done)
 //	advance{from,to}    → ack          (leg evolved)
 //	elites{n}           → elites{...}  (migration sources, pre-merge)
 //	migrants{in,out}    → ack          (receiver-side merge applied)
 //	finish              → done{...}    (archive, history, stats)
 //
-// The parent sends each leg's requests to ALL children before reading
-// any reply, so the processes compute concurrently; replies are read in
-// island slot order, which is also the order every run-level aggregate
-// is folded in. Requests and replies are small (elite sets are a tenth
-// of an archive) and never approach the pipe buffer, so the batched
-// sends cannot block.
+// The coordinator sends each leg's requests to ALL workers before
+// reading any reply, so the workers compute concurrently; replies are
+// read in island slot order, which is also the order every run-level
+// aggregate is folded in. Requests and replies are small (elite sets
+// are a tenth of an archive) and never approach the transport buffers,
+// so the batched sends cannot block.
 //
-// The child half is RunIslandWorker. The host binary must divert to it
-// before doing anything else when IslandWorkerEnv is set — cmd/ftmap
-// does so at the top of main, and the dse test binary in TestMain — so
-// the re-exec'd process becomes a protocol server instead of re-running
-// the parent's command line.
+// The worker half is islandWorker (transport.go), served over pipes by
+// RunIslandWorker and over TCP by ServeIslands. The host binary must
+// divert to RunIslandWorker before doing anything else when
+// IslandWorkerEnv is set — cmd/ftmap does so at the top of main, and
+// the dse test binary in TestMain — so a re-exec'd process becomes a
+// protocol server instead of re-running the parent's command line.
+//
+// Failure handling lives in the endpoints (transport.go): a lost worker
+// is replayed onto a fresh connection or taken over locally, both
+// byte-identical; Stats.IslandTakeovers counts the takeovers.
 
 import (
 	"bytes"
-	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"sort"
 
 	"mcmap/internal/model"
 )
 
-// IslandWorkerEnv is the environment variable that marks a process as a
-// distributed-island worker. Binaries that call Optimize with
-// Options.Distributed must check it first thing in main and hand their
-// stdin/stdout to RunIslandWorker when it is set to "1".
-const IslandWorkerEnv = "MCMAP_ISLAND_WORKER"
-
 // Wire message kinds. Replies echo the request kind except where a
 // dedicated payload exists (elites, done) or something failed (error).
+// TCP workers additionally emit kindPing liveness frames while a leg
+// computes; they are consumed inside the transport and never surface.
 const (
 	kindInit     = "init"
 	kindAdvance  = "advance"
@@ -69,11 +72,8 @@ const (
 	kindAck      = "ack"
 	kindDone     = "done"
 	kindError    = "error"
+	kindPing     = "ping"
 )
-
-// maxFrame bounds a frame's declared length; anything larger means a
-// corrupt or misframed stream, not a legitimate payload.
-const maxFrame = 1 << 28
 
 // wireMsg is the one envelope both directions use; Kind selects which
 // fields are meaningful. Individuals cross the wire as their exported
@@ -99,7 +99,7 @@ type wireMsg struct {
 }
 
 // wireInit carries everything a worker needs to reconstruct its island:
-// the problem spec (revalidated by the child), the run options that
+// the problem spec (revalidated by the worker), the run options that
 // survive the wire, the island slot and its derived seed.
 type wireInit struct {
 	SpecJSON []byte
@@ -110,8 +110,9 @@ type wireInit struct {
 
 // wireOptions is the serializable subset of Options. The selector
 // travels by Name (only the built-in selectors work distributed) and
-// Workers is the child's own budget, already divided by the parent.
-// MigrationInterval stays home: the parent drives the legs.
+// Workers is the worker's own budget, already divided by the
+// coordinator. MigrationInterval stays home: the coordinator drives the
+// legs.
 type wireOptions struct {
 	PopSize             int
 	ArchiveSize         int
@@ -126,6 +127,7 @@ type wireOptions struct {
 	DisableCompiled     bool
 	DisableDropping     bool
 	DisableRepair       bool
+	DisableBatch        bool
 	NoSeeds             bool
 	MaxK                int
 	MaxReplicas         int
@@ -140,47 +142,9 @@ type wireDone struct {
 	Island  IslandStat
 }
 
-// writeFrame encodes msg as one length-prefixed gob frame. Each frame
-// carries its own encoder state, so frames are self-contained and a
-// reader can never desynchronize across message boundaries.
-func writeFrame(w io.Writer, msg *wireMsg) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
-		return fmt.Errorf("dse: encoding %s frame: %w", msg.Kind, err)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
-	return err
-}
-
-// readFrame reads one length-prefixed gob frame.
-func readFrame(r io.Reader) (*wireMsg, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("dse: island frame of %d bytes exceeds the %d-byte bound (corrupt stream?)", n, maxFrame)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	var msg wireMsg
-	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&msg); err != nil {
-		return nil, fmt.Errorf("dse: decoding island frame: %w", err)
-	}
-	return &msg, nil
-}
-
 // selectorByName resolves the built-in selectors for the wire. Custom
 // Selector implementations cannot cross a process boundary, so the
-// parent refuses Distributed runs with anything else up front.
+// coordinator refuses distributed runs with anything else up front.
 func selectorByName(name string) (Selector, bool) {
 	switch name {
 	case SPEA2{}.Name():
@@ -191,67 +155,25 @@ func selectorByName(name string) (Selector, bool) {
 	return nil, false
 }
 
-// islandProc is the parent's handle on one worker process.
-type islandProc struct {
-	cmd *exec.Cmd
-	in  io.WriteCloser
-	out io.ReadCloser
-}
-
-// send writes one request frame to the worker.
-func (ip *islandProc) send(msg *wireMsg) error {
-	return writeFrame(ip.in, msg)
-}
-
-// recv reads the worker's next reply and enforces the expected kind,
-// surfacing worker-side errors verbatim.
-func (ip *islandProc) recv(wantKind string) (*wireMsg, error) {
-	msg, err := readFrame(ip.out)
-	if err != nil {
-		return nil, err
-	}
-	if msg.Kind == kindError {
-		return nil, errors.New(msg.Error)
-	}
-	if msg.Kind != wantKind {
-		return nil, fmt.Errorf("dse: island worker replied %q, want %q", msg.Kind, wantKind)
-	}
-	return msg, nil
-}
-
-// shutdown releases the worker: closing stdin makes a healthy worker's
-// read loop return EOF and exit. kill escalates for error paths.
-func (ip *islandProc) shutdown() error {
-	ip.in.Close()
-	return ip.cmd.Wait()
-}
-
-func (ip *islandProc) kill() {
-	ip.in.Close()
-	if ip.cmd.Process != nil {
-		ip.cmd.Process.Kill()
-	}
-	ip.cmd.Wait()
-}
-
-// runIslandsDistributed is the multi-process twin of runIslands: one
-// child process per island, same legs, same ring, same merge order.
+// runIslandsDistributed is the out-of-process twin of runIslands: one
+// worker per island — child processes over pipes, or fleet workers over
+// TCP when Options.IslandHosts is set (island i connects to
+// IslandHosts[i mod len]) — same legs, same ring, same merge order.
 func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual, error) {
 	if _, ok := selectorByName(opts.Selector.Name()); !ok {
 		return nil, fmt.Errorf("dse: distributed islands support only the built-in selectors (spea2, elitist), not %q", opts.Selector.Name())
-	}
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, fmt.Errorf("dse: locating executable for island workers: %w", err)
 	}
 	var specJSON bytes.Buffer
 	if err := (&model.Spec{Architecture: p.Arch, Apps: p.Apps}).WriteJSON(&specJSON); err != nil {
 		return nil, fmt.Errorf("dse: serializing spec for island workers: %w", err)
 	}
 
-	// Each process owns a private worker budget: an even split of the
-	// run's Workers, at least one. (In-process islands share one pool;
-	// across processes there is nothing to share.)
+	// Each worker owns a private budget: an even split of the run's
+	// Workers, at least one. (In-process islands share one pool; across
+	// processes or machines there is nothing to share.) Remote legs hold
+	// no slots of the coordinator's own pool — its budget is free for
+	// whatever else the process runs, and workpool.InUse surfaces that on
+	// the daemon's /stats.
 	childWorkers := opts.Workers / opts.Islands
 	if childWorkers < 1 {
 		childWorkers = 1
@@ -270,6 +192,7 @@ func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual
 		DisableCompiled:     opts.DisableCompiled,
 		DisableDropping:     opts.DisableDropping,
 		DisableRepair:       opts.DisableRepair,
+		DisableBatch:        opts.DisableBatch,
 		NoSeeds:             opts.NoSeeds,
 		MaxK:                p.MaxK,
 		MaxReplicas:         p.MaxReplicas,
@@ -277,44 +200,44 @@ func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual
 
 	k := opts.Islands
 	seeds := islandSeeds(opts.Seed, k)
-	procs := make([]*islandProc, 0, k)
+	eps := make([]*islandEndpoint, 0, k)
+	takeovers := 0
 	failed := true
 	defer func() {
 		if failed {
-			for _, ip := range procs {
-				ip.kill()
+			for _, ep := range eps {
+				ep.kill()
 			}
 		}
 	}()
-	for i := 0; i < k; i++ {
-		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(), IslandWorkerEnv+"=1")
-		cmd.Stderr = os.Stderr
-		in, err := cmd.StdinPipe()
+	if len(opts.IslandHosts) > 0 {
+		for i := 0; i < k; i++ {
+			addr := opts.IslandHosts[i%len(opts.IslandHosts)]
+			eps = append(eps, &islandEndpoint{slot: i, tr: &tcpTransport{addr: addr}, takeovers: &takeovers})
+		}
+	} else {
+		exe, err := os.Executable()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dse: locating executable for island workers: %w", err)
 		}
-		out, err := cmd.StdoutPipe()
-		if err != nil {
-			return nil, err
+		for i := 0; i < k; i++ {
+			pt, err := spawnPipeWorker(exe)
+			if err != nil {
+				return nil, fmt.Errorf("dse: starting island worker %d: %w", i, err)
+			}
+			eps = append(eps, &islandEndpoint{slot: i, tr: pt, takeovers: &takeovers})
 		}
-		if err := cmd.Start(); err != nil {
-			return nil, fmt.Errorf("dse: starting island worker %d: %w", i, err)
-		}
-		procs = append(procs, &islandProc{cmd: cmd, in: in, out: out})
 	}
 
 	// broadcast sends one request to every listed worker, then collects
 	// the replies in slot order; the workers overlap their computation.
 	broadcast := func(idx []int, req func(i int) *wireMsg, wantKind string) ([]*wireMsg, error) {
 		for _, i := range idx {
-			if err := procs[i].send(req(i)); err != nil {
-				return nil, fmt.Errorf("dse: island worker %d: %w", i, err)
-			}
+			eps[i].send(req(i), wantKind)
 		}
-		replies := make([]*wireMsg, len(procs))
+		replies := make([]*wireMsg, len(eps))
 		for _, i := range idx {
-			msg, err := procs[i].recv(wantKind)
+			msg, err := eps[i].collect()
 			if err != nil {
 				return nil, fmt.Errorf("dse: island worker %d: %w", i, err)
 			}
@@ -338,7 +261,7 @@ func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual
 
 	// Legs and migration barriers, mirroring runIslands' loop bounds.
 	// Cancellation is coarse here: the coordinator checks the context at
-	// each leg boundary only (children have no context to thread it into),
+	// each leg boundary only (workers have no context to thread it into),
 	// so a cancelled distributed run stops within one leg.
 	for start := 1; start <= opts.Generations; start += opts.MigrationInterval {
 		if opts.Context != nil {
@@ -394,11 +317,12 @@ func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual
 		return nil, err
 	}
 	failed = false
-	for i, ip := range procs {
-		if err := ip.shutdown(); err != nil {
+	for i, ep := range eps {
+		if err := ep.close(); err != nil {
 			return nil, fmt.Errorf("dse: island worker %d exited: %w", i, err)
 		}
 	}
+	res.Stats.IslandTakeovers = takeovers
 
 	union := make([]*Individual, 0, k*opts.ArchiveSize)
 	for _, msg := range dones {
@@ -421,18 +345,14 @@ func runIslandsDistributed(p *Problem, opts Options, res *Result) ([]*Individual
 }
 
 // RunIslandWorker serves one island of a distributed run over the
-// parent's pipe protocol: requests arrive on r, replies leave on w. It
-// returns when the parent closes the pipe (clean EOF after finish) and
-// reports protocol or evolution errors after echoing them to the
-// parent. Host binaries route to it from main when IslandWorkerEnv is
-// set; the env check itself lives with the caller so this package stays
-// environment-independent.
+// coordinator's pipe protocol: requests arrive on r, replies leave on w.
+// It returns when the coordinator closes the pipe (clean EOF after
+// finish) and reports protocol or evolution errors after echoing them to
+// the coordinator. Host binaries route to it from main when
+// IslandWorkerEnv is set; the env check itself lives with the caller so
+// this package stays environment-independent.
 func RunIslandWorker(r io.Reader, w io.Writer) error {
-	var isl *island
-	fail := func(err error) error {
-		writeFrame(w, &wireMsg{Kind: kindError, Error: err.Error()})
-		return err
-	}
+	worker := &islandWorker{}
 	for {
 		msg, err := readFrame(r)
 		if errors.Is(err, io.EOF) {
@@ -441,47 +361,10 @@ func RunIslandWorker(r io.Reader, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if msg.Kind != kindInit && isl == nil {
-			return fail(fmt.Errorf("dse: island worker got %s before init", msg.Kind))
-		}
-		var reply *wireMsg
-		switch msg.Kind {
-		case kindInit:
-			isl, err = buildWorkerIsland(msg.Init)
-			if err == nil {
-				err = isl.init()
-			}
-			if err != nil {
-				return fail(err)
-			}
-			reply = &wireMsg{Kind: kindAck}
-		case kindAdvance:
-			if err := isl.advance(msg.From, msg.To); err != nil {
-				return fail(err)
-			}
-			reply = &wireMsg{Kind: kindAck}
-		case kindElites:
-			reply = &wireMsg{Kind: kindElites, Elites: isl.elites(msg.N)}
-		case kindMigrants:
-			// The receiver half of migrateRing, verbatim: counters,
-			// selection merge, history annotation.
-			isl.migrantsOut += msg.OutCount
-			isl.migrantsIn += len(msg.In)
-			union := append(append([]*Individual(nil), isl.archive...), msg.In...)
-			isl.archive = isl.selectArchive(union)
-			if len(isl.history) > 0 {
-				isl.history[len(isl.history)-1].MigrantsIn += len(msg.In)
-			}
-			reply = &wireMsg{Kind: kindAck}
-		case kindFinish:
-			reply = &wireMsg{Kind: kindDone, Done: &wireDone{
-				Archive: isl.archive,
-				History: isl.history,
-				Stats:   isl.stats,
-				Island:  isl.islandStat(),
-			}}
-		default:
-			return fail(fmt.Errorf("dse: island worker got unknown message kind %q", msg.Kind))
+		reply, herr := worker.handle(msg)
+		if herr != nil {
+			writeFrame(w, &wireMsg{Kind: kindError, Error: herr.Error()})
+			return herr
 		}
 		if err := writeFrame(w, reply); err != nil {
 			return err
@@ -491,8 +374,8 @@ func RunIslandWorker(r io.Reader, w io.Writer) error {
 
 // buildWorkerIsland reconstructs the worker's island from an init
 // frame: spec → Problem (revalidated), wire options → Options, then the
-// same evaluator wiring Optimize performs, scaled to the child's own
-// worker budget.
+// same evaluator wiring Optimize performs, scaled to the worker's own
+// budget.
 func buildWorkerIsland(init *wireInit) (*island, error) {
 	if init == nil {
 		return nil, errors.New("dse: island init frame without payload")
@@ -525,6 +408,7 @@ func buildWorkerIsland(init *wireInit) (*island, error) {
 		DisableCompiled:     init.Opts.DisableCompiled,
 		DisableDropping:     init.Opts.DisableDropping,
 		DisableRepair:       init.Opts.DisableRepair,
+		DisableBatch:        init.Opts.DisableBatch,
 		NoSeeds:             init.Opts.NoSeeds,
 	}
 	ev, opts := newRunEvaluator(p, opts)

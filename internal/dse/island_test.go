@@ -77,9 +77,14 @@ func TestIslandOneMatchesGolden(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			// Workers=1 pins the cache-counter trajectory exactly as the
 			// golden capture did; multi-worker runs are covered by the
-			// determinism tests instead.
+			// determinism tests instead. DisableBatch keeps the
+			// per-candidate evaluation path the capture ran on: batching
+			// shares analyses within same-system groups, which shifts the
+			// structural-cache counters baked into the signatures (never
+			// the archives — TestBatchedMatchesPerCandidate pins that).
 			opts := tc.opts
 			opts.Workers = 1
+			opts.DisableBatch = true
 			res, err := Optimize(p, opts)
 			if err != nil {
 				t.Fatal(err)

@@ -41,6 +41,11 @@ func TestMemoizedTrajectoryMatchesUncached(t *testing.T) {
 		want.CacheHits, want.CacheMisses, want.CacheBypassed = 0, 0, false
 		got.StructHits, got.StructMisses = 0, 0
 		want.StructHits, want.StructMisses = 0, 0
+		// Batch counters follow the miss list, which the fitness cache
+		// shrinks (an intra-batch duplicate served by the cache never
+		// reaches its group), so they differ for the same benign reason.
+		got.BatchGroups, got.BatchHits = 0, 0
+		want.BatchGroups, want.BatchHits = 0, 0
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("generation %d: cached %+v != uncached %+v", i, got, want)
 		}

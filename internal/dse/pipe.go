@@ -1,0 +1,72 @@
+package dse
+
+// pipeTransport is the original single-machine transport: each island
+// worker is a child process (a re-exec of the current binary, diverted
+// to RunIslandWorker by IslandWorkerEnv) speaking the frame protocol on
+// its stdin/stdout pipes. Pipes cannot be re-established once the child
+// is gone, so the transport offers no reconnect; a broken pipe goes
+// straight to the endpoint's local takeover.
+
+import (
+	"io"
+	"os"
+	"os/exec"
+)
+
+// IslandWorkerEnv is the environment variable that marks a process as a
+// distributed-island worker. Binaries that call Optimize with
+// Options.Distributed must check it first thing in main and hand their
+// stdin/stdout to RunIslandWorker when it is set to "1".
+const IslandWorkerEnv = "MCMAP_ISLAND_WORKER"
+
+type pipeTransport struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out io.ReadCloser
+}
+
+// spawnPipeWorker starts one child worker process on exe.
+func spawnPipeWorker(exe string) (*pipeTransport, error) {
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), IslandWorkerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &pipeTransport{cmd: cmd, in: in, out: out}, nil
+}
+
+func (pt *pipeTransport) Send(msg *wireMsg) error {
+	return writeFrame(pt.in, msg)
+}
+
+func (pt *pipeTransport) Recv(wantKind string) (*wireMsg, error) {
+	msg, err := readFrame(pt.out)
+	if err != nil {
+		return nil, err
+	}
+	return checkReply(msg, wantKind)
+}
+
+// Close releases a healthy worker: closing stdin makes its read loop
+// return EOF and exit. Kill escalates for error paths.
+func (pt *pipeTransport) Close() error {
+	pt.in.Close()
+	return pt.cmd.Wait()
+}
+
+func (pt *pipeTransport) Kill() {
+	pt.in.Close()
+	if pt.cmd.Process != nil {
+		pt.cmd.Process.Kill()
+	}
+	pt.cmd.Wait()
+}

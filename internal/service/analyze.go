@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"sort"
@@ -56,6 +57,24 @@ func (s *Server) readSpecBytes(w http.ResponseWriter, body []byte, needMapping b
 		})
 		return nil
 	}
+	return bundleSpec(spec)
+}
+
+// decodeSpecBundle is the HTTP-free spec decode used when reloading
+// persisted jobs: same decode and validation as readSpecBytes, errors
+// returned instead of written.
+func decodeSpecBundle(body []byte) (*specBundle, error) {
+	spec, err := model.ReadSpec(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if res := validate.CheckSpec(spec); res.HasErrors() {
+		return nil, fmt.Errorf("spec has validation errors")
+	}
+	return bundleSpec(spec), nil
+}
+
+func bundleSpec(spec *model.Spec) *specBundle {
 	return &specBundle{
 		spec: spec,
 		full: validate.Fingerprint(spec),

@@ -104,6 +104,39 @@ func (cr *cacheRegistry) forProblem(fp string) *problemCaches {
 	return pc
 }
 
+// problemStat is one problem's cache occupancy on /stats. The
+// fingerprint is truncated: it identifies the problem to an operator who
+// has the full prints from their own specs without bloating the payload.
+type problemStat struct {
+	Fingerprint    string `json:"fingerprint"`
+	StructEntries  int    `json:"struct_entries"`
+	FitnessEntries int    `json:"fitness_entries"`
+}
+
+// detail reports per-problem cache occupancy in recency order (most
+// recently used first).
+func (cr *cacheRegistry) detail() []problemStat {
+	cr.mu.Lock()
+	entries := make([]*registryEntry, 0, cr.ll.Len())
+	for el := cr.ll.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*registryEntry))
+	}
+	cr.mu.Unlock()
+	out := make([]problemStat, 0, len(entries))
+	for _, e := range entries {
+		fp := e.fp
+		if len(fp) > 16 {
+			fp = fp[:16]
+		}
+		out = append(out, problemStat{
+			Fingerprint:    fp,
+			StructEntries:  e.caches.structural.Len(),
+			FitnessEntries: e.caches.fitnessLen(),
+		})
+	}
+	return out
+}
+
 // snapshot reports the registry's size and total fitness-store entries.
 func (cr *cacheRegistry) snapshot() (problems, fitnessEntries int) {
 	cr.mu.Lock()

@@ -119,8 +119,10 @@ func (s *Server) submitDSE(w http.ResponseWriter, b *specBundle, params dseParam
 		resumed: resumedFrom,
 	}
 	id := s.jobs.add(j)
+	s.persistJob(j)
 	if err := s.enqueue(task{job: j, run: func() { s.runDSEJob(ctx, j) }}); err != nil {
 		j.finish(nil, err)
+		s.persistJob(j)
 		status := http.StatusServiceUnavailable
 		if err == errQueueFull {
 			status = http.StatusTooManyRequests
@@ -139,6 +141,7 @@ func (s *Server) submitDSE(w http.ResponseWriter, b *specBundle, params dseParam
 func (s *Server) runDSEJob(ctx context.Context, j *job) {
 	result, err := s.runDSE(ctx, j)
 	j.finish(result, err)
+	s.persistJob(j)
 	switch j.status().State {
 	case stateDone:
 		s.stats.jobsDone.Add(1)
@@ -167,15 +170,25 @@ func (s *Server) runDSE(ctx context.Context, j *job) ([]byte, error) {
 	opts.Workers = s.cfg.Workers
 	opts.Context = ctx
 	opts.Progress = j.recordGen
-	opts.CheckpointSink = func(ck *dse.Checkpoint) error {
-		var buf bytes.Buffer
-		if err := ck.Encode(&buf); err != nil {
-			return err
-		}
-		j.recordCheckpoint(ck.Gen, buf.Bytes())
-		return nil
-	}
 	opts.Resume = j.params.resume
+	// Fleet dispatch: multi-island jobs spread their legs over the
+	// configured workers. The engine forbids combining distribution with
+	// checkpointing (island state lives on the workers between barriers),
+	// so fleet jobs run checkpoint-free, and resumed jobs — which exist
+	// only because a checkpoint was captured — run locally instead.
+	if len(s.cfg.IslandHosts) > 0 && opts.Islands > 1 && opts.Resume == nil {
+		opts.IslandHosts = s.cfg.IslandHosts
+	} else {
+		opts.CheckpointSink = func(ck *dse.Checkpoint) error {
+			var buf bytes.Buffer
+			if err := ck.Encode(&buf); err != nil {
+				return err
+			}
+			j.recordCheckpoint(ck.Gen, buf.Bytes())
+			s.persistJob(j)
+			return nil
+		}
+	}
 	if opts.Islands <= 1 {
 		// Cross-job fitness memoization (single-island only; see
 		// dse.FitnessStore): genomes explored by earlier jobs over this

@@ -295,6 +295,23 @@ func (t *jobTable) add(j *job) string {
 	return j.id
 }
 
+// restore inserts a reloaded job under its historical ID (boot only).
+func (t *jobTable) restore(j *job) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byID[j.id] = j
+}
+
+// ensureNext advances the ID counter to at least n, so IDs minted after
+// a reload never collide with reloaded history.
+func (t *jobTable) ensureNext(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < n {
+		t.next = n
+	}
+}
+
 func (t *jobTable) get(id string) (*job, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

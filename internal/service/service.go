@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcmap/internal/dse"
 	"mcmap/internal/workpool"
 )
 
@@ -66,6 +67,23 @@ type Config struct {
 	FitnessStoreSize int
 	// MaxBodyBytes bounds request bodies. Default 16 MiB.
 	MaxBodyBytes int64
+	// IslandHosts lists fleet worker addresses (host:port, each running
+	// `mcmapd -worker`). When set, multi-island /dse jobs distribute
+	// their island legs over these workers (round-robin, island i to
+	// host i mod len) instead of spawning local child processes; the
+	// final archive is byte-identical either way, and a lost worker is
+	// taken over locally (dse.Options.IslandHosts). Fleet jobs skip
+	// barrier checkpointing — the engine forbids combining the two — and
+	// resumed jobs always run locally for the same reason. Empty means
+	// no fleet.
+	IslandHosts []string
+	// DataDir, when set, persists every job record (inputs, terminal
+	// state, result, newest checkpoint) under DataDir/jobs and reloads
+	// them on boot: jobs that were queued or running when the daemon
+	// died come back as failed-with-checkpoint, so POST
+	// /jobs/{id}/resume continues them to a byte-identical final
+	// archive. Empty keeps jobs in memory only.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +173,12 @@ func New(cfg Config, pool *workpool.Pool) *Server {
 		s.ownPool = true
 	}
 	s.routes()
+	// Reload persisted jobs before the runners start: the table must be
+	// settled (and the ID counter advanced past every reloaded job)
+	// before any new submission can race it.
+	if cfg.DataDir != "" {
+		s.loadPersistedJobs()
+	}
 	for i := 0; i < cfg.Runners; i++ {
 		s.runners.Add(1)
 		analyzeOnly := i == 0 // runner 0 is reserved for analyses
@@ -268,9 +292,11 @@ func (s *Server) retryAfterSeconds() int {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	qa, qd := s.queue.lengths()
 	problems, fitnessEntries := s.caches.snapshot()
+	bytesIn, bytesOut := dse.TransportCounters()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"workers":        s.pool.Cap(),
+		"workers_in_use": s.pool.InUse(),
 		"analyze": map[string]int64{
 			"requests":      s.stats.analyzeRequests.Load(),
 			"runs":          s.stats.analyzeRuns.Load(),
@@ -292,9 +318,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"depth":    int64(s.cfg.QueueDepth),
 			"rejected": s.stats.rejected.Load(),
 		},
-		"caches": map[string]int64{
+		"caches": map[string]any{
 			"problems":        int64(problems),
 			"fitness_entries": int64(fitnessEntries),
+			"per_problem":     s.caches.detail(),
+		},
+		// Fleet transport traffic is process-global (a daemon is either a
+		// coordinator or a worker): frame payload bytes after compression,
+		// both directions, across all transports since start.
+		"fleet": map[string]int64{
+			"hosts":     int64(len(s.cfg.IslandHosts)),
+			"bytes_in":  bytesIn,
+			"bytes_out": bytesOut,
 		},
 	})
 }
@@ -335,6 +370,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 		j.cancel()
 		s.stats.jobsCancelled.Add(1)
+		s.persistJob(j)
 	case stateRunning:
 		j.mu.Unlock()
 		j.cancel() // the engine surfaces context.Canceled; finish() settles

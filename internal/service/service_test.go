@@ -474,7 +474,12 @@ func TestStatsAndHealth(t *testing.T) {
 		Analyze map[string]int64 `json:"analyze"`
 		Jobs    map[string]int64 `json:"jobs"`
 		Queue   map[string]int64 `json:"queue"`
-		Caches  map[string]int64 `json:"caches"`
+		Fleet   map[string]int64 `json:"fleet"`
+		Caches  struct {
+			Problems       int64         `json:"problems"`
+			FitnessEntries int64         `json:"fitness_entries"`
+			PerProblem     []problemStat `json:"per_problem"`
+		} `json:"caches"`
 	}
 	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
 		t.Fatalf("stats payload: %v", err)
@@ -482,8 +487,14 @@ func TestStatsAndHealth(t *testing.T) {
 	if stats.Analyze["requests"] != 2 || stats.Analyze["runs"] != 1 || stats.Analyze["result_hits"] != 1 {
 		t.Fatalf("analyze stats = %v, want requests=2 runs=1 result_hits=1", stats.Analyze)
 	}
-	if stats.Caches["problems"] != 1 {
-		t.Fatalf("caches.problems = %d, want 1", stats.Caches["problems"])
+	if stats.Caches.Problems != 1 {
+		t.Fatalf("caches.problems = %d, want 1", stats.Caches.Problems)
+	}
+	if len(stats.Caches.PerProblem) != 1 || stats.Caches.PerProblem[0].Fingerprint == "" {
+		t.Fatalf("caches.per_problem = %+v, want one fingerprinted entry", stats.Caches.PerProblem)
+	}
+	if _, ok := stats.Fleet["bytes_in"]; !ok {
+		t.Fatalf("fleet stats missing transport counters: %v", stats.Fleet)
 	}
 }
 

@@ -63,6 +63,14 @@ func New(n int) *Pool {
 // Cap returns the pool's worker budget.
 func (p *Pool) Cap() int { return cap(p.sem) }
 
+// InUse returns the number of currently claimed worker slots. It is an
+// instantaneous observation for monitoring (daemon /stats, tests) — by
+// the time the caller reads it, slots may have come or gone. Note that
+// work dispatched to remote fleet workers holds no local slots, so a
+// coordinator driving a large remote fan-out can legitimately report a
+// near-idle pool.
+func (p *Pool) InUse() int { return len(p.sem) }
+
 // Acquire blocks until a worker slot is available. Outer-layer use only;
 // see the package comment for the nesting protocol.
 func (p *Pool) Acquire() { p.sem <- struct{}{} }

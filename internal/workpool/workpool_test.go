@@ -60,6 +60,26 @@ func TestSubmitRunsAndReleases(t *testing.T) {
 	p.Release()
 }
 
+func TestInUse(t *testing.T) {
+	p := New(3)
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("idle pool InUse() = %d, want 0", got)
+	}
+	p.Acquire()
+	p.Acquire()
+	if got := p.InUse(); got != 2 {
+		t.Fatalf("InUse() = %d after two Acquires, want 2", got)
+	}
+	p.Release()
+	if got := p.InUse(); got != 1 {
+		t.Fatalf("InUse() = %d after a Release, want 1", got)
+	}
+	p.Release()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse() = %d after all Releases, want 0", got)
+	}
+}
+
 func TestSubmitNilPool(t *testing.T) {
 	var p *Pool
 	if p.Submit(func() {}) {

@@ -1,0 +1,26 @@
+package mcmap_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"mcmap/internal/dse"
+)
+
+// TestMain doubles as the distributed-island worker entry point, exactly
+// like the dse package's own TestMain: the pipe transport re-execs the
+// current binary — under `go test`, this test binary — with
+// IslandWorkerEnv set, and the child must become a protocol server on
+// stdin/stdout instead of running the suite (BenchmarkDistributedTransport
+// exercises that path from this package).
+func TestMain(m *testing.M) {
+	if os.Getenv(dse.IslandWorkerEnv) == "1" {
+		if err := dse.RunIslandWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "island worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
