@@ -13,7 +13,7 @@ FUZZTIME   ?= 20s
 
 PROFDIR    ?= profiles
 
-.PHONY: build test test-race lint fuzz bench benchguard profile clean
+.PHONY: build test test-race lint wire-schema fuzz bench benchguard profile clean
 
 build:
 	$(GO) build ./...
@@ -25,21 +25,33 @@ test-race:
 	$(GO) test -race ./...
 
 # lint is the static-analysis gate: gofmt, go vet, and the repo's own
-# invariant linter (cmd/mcmaplint: determinism, map-range ordering,
-# pool-bounded goroutine spawning, sync-type copies, cache-entry
-# immutability). CI additionally runs golangci-lint (.golangci.yml);
-# locally this target needs nothing beyond the Go toolchain.
+# invariant linter (cmd/mcmaplint) in module mode — the per-package
+# rules (determinism, map-range ordering, pool-bounded goroutine
+# spawning, sync-type copies, cache-entry and compiled-system
+# immutability) plus the whole-repo call-graph rules (transitive
+# determinism, pinned wire schema, lock-order cycles,
+# deadline/cancellation guards; DESIGN.md §8). CI additionally runs
+# golangci-lint (.golangci.yml); locally this target needs nothing
+# beyond the Go toolchain.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/mcmaplint ./...
 
-# fuzz smoke-tests the spec input path and the static validator for
-# $(FUZZTIME) each (the same budget the CI job uses). Native Go
-# fuzzing: one target per invocation.
+# wire-schema regenerates the pinned wire/persistence fingerprint after
+# an INTENTIONAL protocol change (DESIGN.md §10.5); review the diff as
+# a protocol diff. CI fails when the committed golden is stale.
+wire-schema:
+	$(GO) run ./cmd/mcmaplint -wire-schema > internal/lint/testdata/wire_schema.golden
+	@git diff --stat -- internal/lint/testdata/wire_schema.golden
+
+# fuzz smoke-tests the spec input path, the static validator and the
+# distributed frame layer for $(FUZZTIME) each (the same budget the CI
+# job uses). Native Go fuzzing: one target per invocation.
 fuzz:
 	$(GO) test ./internal/model -run '^$$' -fuzz FuzzReadSpec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/validate -run '^$$' -fuzz FuzzCheckSpec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dse -run '^$$' -fuzz FuzzTransportFrame -fuzztime $(FUZZTIME)
 
 # bench runs the performance-critical micro-benchmarks and writes the
 # machine-readable results (a test2json stream, one JSON object per

@@ -1,0 +1,61 @@
+package dse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTransportFrame pins the two safety properties of the frame layer:
+// arbitrary bytes fed to readFrame never panic (a hostile or corrupt
+// peer yields an error, not a crash), and writeFrame/readFrame
+// round-trip a message exactly — on both sides of the flate
+// compression threshold, since the repeated payload crosses it.
+func FuzzTransportFrame(f *testing.F) {
+	f.Add([]byte("ping"), byte(0), int64(1))
+	f.Add([]byte{}, byte(3), int64(0))
+	// 64 bytes repeated 256x lands well past compressThreshold (4 KiB).
+	f.Add(bytes.Repeat([]byte{0xAB, 0x00, 0x7F, 0xFF}, 16), byte(255), int64(-7))
+	f.Fuzz(func(t *testing.T, data []byte, rep byte, seed int64) {
+		// Property 1: the reader survives arbitrary input. The bytes are
+		// simultaneously a hostile header (declared length, compression
+		// bit) and a hostile payload (truncated gob, bogus flate stream).
+		if msg, err := readFrame(bytes.NewReader(data)); msg == nil && err == nil {
+			t.Fatal("readFrame returned neither a message nor an error")
+		}
+
+		// Property 2: a frame round-trips bit-exactly. Repeating the
+		// input scales the payload across the compression threshold
+		// without giving the fuzzer a multi-megabyte search space.
+		payload := bytes.Repeat(data, int(rep)+1)
+		if len(payload) > 1<<20 {
+			payload = payload[:1<<20]
+		}
+		msg := &wireMsg{
+			Kind:     kindInit,
+			From:     int(rep),
+			N:        len(data),
+			Error:    string(data),
+			Init:     &wireInit{SpecJSON: payload, Island: int(rep), Seed: seed},
+			OutCount: int(seed % 1000),
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, msg); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame(writeFrame(msg)): %v", err)
+		}
+		if got.Kind != msg.Kind || got.From != msg.From || got.N != msg.N ||
+			got.Error != msg.Error || got.OutCount != msg.OutCount {
+			t.Fatalf("frame fields changed in flight: got %+v, want %+v", got, msg)
+		}
+		if got.Init == nil || got.Init.Island != msg.Init.Island || got.Init.Seed != seed ||
+			!bytes.Equal(got.Init.SpecJSON, payload) {
+			t.Fatal("wireInit payload changed in flight")
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d trailing bytes after one frame: framing desynced", buf.Len())
+		}
+	})
+}

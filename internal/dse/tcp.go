@@ -163,6 +163,7 @@ func serveIslandConn(conn net.Conn) {
 		return writeFrame(conn, msg)
 	}
 	for {
+		//lint:allow ctxdeadline the worker legitimately idles between legs waiting for the coordinator's next request (DESIGN.md §10.2); a dead coordinator closes the connection, which fails this read
 		msg, err := readFrame(conn)
 		if err != nil {
 			return // EOF (clean shutdown) or a broken coordinator

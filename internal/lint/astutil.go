@@ -79,27 +79,29 @@ func rootIdent(e ast.Expr) *ast.Ident {
 }
 
 // isMapTypeExpr reports whether the type expression is syntactically a
-// map, a named local map type, or a known cross-package map type.
-func isMapTypeExpr(t ast.Expr, localMapTypes map[string]bool) bool {
+// map, a named local map type, or a known cross-package map type
+// (known lists qualified "pkg.Type" and bare spellings).
+func isMapTypeExpr(t ast.Expr, localMapTypes, known map[string]bool) bool {
 	switch v := t.(type) {
 	case *ast.MapType:
 		return true
 	case *ast.Ident:
-		return localMapTypes[v.Name] || knownMapTypeNames[v.Name]
+		return localMapTypes[v.Name] || known[v.Name]
 	case *ast.SelectorExpr:
 		if id, ok := v.X.(*ast.Ident); ok {
-			return knownMapTypeNames[id.Name+"."+v.Sel.Name]
+			return known[id.Name+"."+v.Sel.Name]
 		}
 	case *ast.ParenExpr:
-		return isMapTypeExpr(v.X, localMapTypes)
+		return isMapTypeExpr(v.X, localMapTypes, known)
 	}
 	return false
 }
 
 // knownMapTypeNames lists named map types defined elsewhere in this
-// module that the deterministic packages iterate over. The syntactic
-// passes cannot see across packages, so the handful that matters is
-// enumerated here (both qualified and bare spellings).
+// module that the deterministic packages iterate over. It is the
+// single-package fallback: under the module driver the same set is
+// derived from the whole-repo type index (Module.NamedMaps), so new
+// named map types are picked up without touching this table.
 var knownMapTypeNames = map[string]bool{
 	"model.Mapping":  true,
 	"Mapping":        true,
@@ -139,7 +141,7 @@ func localMapTypes(files []*ast.File) map[string]bool {
 // declares with a non-map type are ambiguous without type information
 // and are excluded (e.g. Phenotype.Alloc is a map while Genome.Alloc is
 // a []bool).
-func mapFieldNames(files []*ast.File, local map[string]bool) map[string]bool {
+func mapFieldNames(files []*ast.File, local, known map[string]bool) map[string]bool {
 	mapNames := map[string]bool{}
 	otherNames := map[string]bool{}
 	for _, f := range files {
@@ -150,7 +152,7 @@ func mapFieldNames(files []*ast.File, local map[string]bool) map[string]bool {
 			}
 			for _, fld := range st.Fields.List {
 				into := otherNames
-				if isMapTypeExpr(fld.Type, local) {
+				if isMapTypeExpr(fld.Type, local, known) {
 					into = mapNames
 				}
 				for _, name := range fld.Names {

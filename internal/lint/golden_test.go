@@ -7,23 +7,19 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
 
-// runGolden loads testdata/<dir> as one package with the given import
-// path, runs the analyzer through the full pipeline (suppression
-// included) and compares the diagnostics against // want "regex"
-// comments, analysistest-style: every want must match a diagnostic on
-// its line, and every diagnostic must be covered by a want.
-func runGolden(t *testing.T, a *Analyzer, dir, pkgPath string) {
+// parseGoldenDir parses the .go files of one testdata directory into
+// the shared FileSet.
+func parseGoldenDir(t *testing.T, fset *token.FileSet, full string) []*ast.File {
 	t.Helper()
-	full := filepath.Join("testdata", dir)
 	entries, err := os.ReadDir(full)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -38,9 +34,79 @@ func runGolden(t *testing.T, a *Analyzer, dir, pkgPath string) {
 	if len(files) == 0 {
 		t.Fatalf("no Go files in %s", full)
 	}
-	pkg := &Package{Name: files[0].Name.Name, Path: pkgPath, Dir: full, Fset: fset, Files: files}
-	diags := Run(pkg, []*Analyzer{a})
+	return files
+}
 
+// runGolden loads testdata/<dir> as one package with the given import
+// path, runs the analyzer through the full pipeline (suppression
+// included) and compares the diagnostics against // want "regex"
+// comments, analysistest-style: every want must match a diagnostic on
+// its line, and every diagnostic must be covered by a want.
+func runGolden(t *testing.T, a *Analyzer, dir, pkgPath string) {
+	t.Helper()
+	full := filepath.Join("testdata", dir)
+	fset := token.NewFileSet()
+	files := parseGoldenDir(t, fset, full)
+	pkg := &Package{Name: files[0].Name.Name, Path: pkgPath, Dir: full, Fset: fset, Files: files}
+	checkWants(t, fset, files, Run(pkg, []*Analyzer{a}))
+}
+
+// runModuleGolden loads each listed subdirectory of testdata/<dir> as
+// one package (subdir name -> import path), indexes them into a Module
+// and runs the analyzer through the module driver, matching diagnostics
+// against // want comments across every file of every package.
+func runModuleGolden(t *testing.T, a *Analyzer, dir string, pkgPaths map[string]string) {
+	t.Helper()
+	base := filepath.Join("testdata", dir)
+	subs := make([]string, 0, len(pkgPaths))
+	for sub := range pkgPaths {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	var all []*ast.File
+	for _, sub := range subs {
+		full := filepath.Join(base, sub)
+		files := parseGoldenDir(t, fset, full)
+		pkgs = append(pkgs, &Package{Name: files[0].Name.Name, Path: pkgPaths[sub], Dir: full, Fset: fset, Files: files})
+		all = append(all, files...)
+	}
+	mod := NewModule(base, pkgs)
+	checkWants(t, fset, all, RunModule(mod, []*Analyzer{a}))
+}
+
+// runModuleGoldenExpectNone asserts the analyzer stays silent over the
+// module assembled from testdata/<dir> under the given import paths
+// (want comments are ignored).
+func runModuleGoldenExpectNone(t *testing.T, a *Analyzer, dir string, pkgPaths map[string]string) {
+	t.Helper()
+	base := filepath.Join("testdata", dir)
+	subs := make([]string, 0, len(pkgPaths))
+	for sub := range pkgPaths {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, sub := range subs {
+		full := filepath.Join(base, sub)
+		files := parseGoldenDir(t, fset, full)
+		pkgs = append(pkgs, &Package{Name: files[0].Name.Name, Path: pkgPaths[sub], Dir: full, Fset: fset, Files: files})
+	}
+	mod := NewModule(base, pkgs)
+	for _, d := range RunModule(mod, []*Analyzer{a}) {
+		if d.Rule == a.Name {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// checkWants compares diagnostics against the // want `regex` comments
+// in files: every want must match a diagnostic on its line, and every
+// diagnostic must be covered by a want.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
@@ -128,27 +194,42 @@ func TestCompiledWriteSkipsOtherPackages(t *testing.T) {
 	runGoldenExpectNone(t, CompiledWriteAnalyzer, "compiledwrite", "mcmap/internal/dse")
 }
 
+func TestTransDetGolden(t *testing.T) {
+	runModuleGolden(t, TransDetAnalyzer, "transdet", map[string]string{
+		"clock": "tmod/internal/clock",
+		"dse":   "tmod/internal/dse",
+	})
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	runModuleGolden(t, LockOrderAnalyzer, "lockorder", map[string]string{
+		"svc": "tmod/internal/service",
+	})
+}
+
+func TestLockOrderSkipsOutOfScopePackages(t *testing.T) {
+	// The same sources are clean when the package is outside the lock
+	// scope: the analysis core is lock-free by design, not by rule.
+	runModuleGoldenExpectNone(t, LockOrderAnalyzer, "lockorder", map[string]string{
+		"svc": "tmod/internal/texttable",
+	})
+}
+
+func TestCtxDeadlineGolden(t *testing.T) {
+	runGolden(t, CtxDeadlineAnalyzer, "ctxdeadline", "mcmap/internal/service")
+}
+
+func TestCtxDeadlineSkipsOtherPackages(t *testing.T) {
+	runGoldenExpectNone(t, CtxDeadlineAnalyzer, "ctxdeadline", "mcmap/internal/core")
+}
+
 // runGoldenExpectNone asserts the analyzer stays silent on the package
 // path (want comments are ignored).
 func runGoldenExpectNone(t *testing.T, a *Analyzer, dir, pkgPath string) {
 	t.Helper()
 	full := filepath.Join("testdata", dir)
-	entries, err := os.ReadDir(full)
-	if err != nil {
-		t.Fatal(err)
-	}
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(full, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			t.Fatal(err)
-		}
-		files = append(files, f)
-	}
+	files := parseGoldenDir(t, fset, full)
 	pkg := &Package{Name: files[0].Name.Name, Path: pkgPath, Dir: full, Fset: fset, Files: files}
 	for _, d := range Run(pkg, []*Analyzer{a}) {
 		if d.Rule == a.Name {

@@ -45,7 +45,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Analyzer is one named invariant checker.
+// Analyzer is one named invariant checker. Per-package analyzers set
+// Run; whole-repo analyzers set RunModule instead (and are skipped by
+// the single-package driver). An analyzer may set both, in which case
+// the module driver prefers RunModule.
 type Analyzer struct {
 	// Name is the rule name used in output and //lint:allow comments.
 	Name string
@@ -53,6 +56,9 @@ type Analyzer struct {
 	Doc string
 	// Run reports violations on the pass via Pass.Reportf.
 	Run func(*Pass)
+	// RunModule reports violations over the whole module via
+	// ModulePass.Reportf (call-graph and cross-package rules).
+	RunModule func(*ModulePass)
 }
 
 // Pass is one analyzer's view of one package.
@@ -66,8 +72,30 @@ type Pass struct {
 	// PkgPath is the import path (e.g. "mcmap/internal/core"); the
 	// path-scoped rules decide applicability from it.
 	PkgPath string
+	// Module is the whole-repo index when the pass runs under the
+	// module driver, nil in single-package mode. Per-package analyzers
+	// use it to upgrade their cross-package approximations (named map
+	// types, locky structs) when it is available.
+	Module *Module
 
 	diags []Diagnostic
+}
+
+// ModulePass is one analyzer's view of the whole module.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Module.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records a finding at pos.
@@ -88,6 +116,10 @@ func Analyzers() []*Analyzer {
 		SyncCopyAnalyzer,
 		CacheWriteAnalyzer,
 		CompiledWriteAnalyzer,
+		TransDetAnalyzer,
+		WireSchemaAnalyzer,
+		LockOrderAnalyzer,
+		CtxDeadlineAnalyzer,
 	}
 }
 
@@ -104,12 +136,16 @@ func AnalyzerByName(name string) *Analyzer {
 // Run executes the given analyzers over the package and returns the
 // surviving diagnostics: suppressed findings are dropped, malformed
 // suppression comments are reported, and the result is sorted by
-// position.
+// position. Module-only analyzers (nil Run) are skipped; use RunModule
+// to execute them.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	allows, malformed := collectAllows(pkg)
+	allows := allowSet{}
 	var out []Diagnostic
-	out = append(out, malformed...)
+	collectAllows(allows, pkg.Fset, pkg.Files, &out)
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -125,6 +161,54 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+// RunModule executes the given analyzers over the whole module:
+// module-level analyzers run once against the shared index, per-package
+// analyzers run package by package with Pass.Module populated.
+// Suppression and malformed-allow reporting work exactly as in Run,
+// with allow comments collected across every loaded package.
+func RunModule(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	allows := allowSet{}
+	var out []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		collectAllows(allows, pkg.Fset, pkg.Files, &out)
+	}
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		switch {
+		case a.RunModule != nil:
+			mp := &ModulePass{Analyzer: a, Module: mod}
+			a.RunModule(mp)
+			diags = mp.diags
+		case a.Run != nil:
+			for _, pkg := range mod.Pkgs {
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					PkgName:  pkg.Name,
+					PkgPath:  pkg.Path,
+					Module:   mod,
+				}
+				a.Run(pass)
+				diags = append(diags, pass.diags...)
+			}
+		}
+		for _, d := range diags {
+			if allows.suppresses(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -138,7 +222,6 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
 }
 
 // allowSet indexes //lint:allow comments by file, line and rule. An
@@ -146,28 +229,31 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // N+1, so both end-of-line and line-above placement work.
 type allowSet map[string]map[int]map[string]bool
 
-func (s allowSet) suppresses(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+// allows reports whether a finding of rule at pos is suppressed.
+func (s allowSet) allows(pos token.Position, rule string) bool {
+	lines := s[pos.Filename]
 	if lines == nil {
 		return false
 	}
-	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if rules := lines[ln]; rules != nil && (rules[d.Rule] || rules["*"]) {
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if rules := lines[ln]; rules != nil && (rules[rule] || rules["*"]) {
 			return true
 		}
 	}
 	return false
 }
 
+func (s allowSet) suppresses(d Diagnostic) bool {
+	return s.allows(d.Pos, d.Rule)
+}
+
 var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+(\S+)\s*(.*)$`)
 
-// collectAllows scans every comment of the package for suppression
-// directives, returning the index of well-formed ones and a diagnostic
-// per malformed one (missing rule or missing reason).
-func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
-	allows := allowSet{}
-	var malformed []Diagnostic
-	for _, f := range pkg.Files {
+// collectAllows scans the files' comments for suppression directives,
+// indexing well-formed ones into allows and appending a diagnostic per
+// malformed one (missing rule or missing reason) to malformed.
+func collectAllows(allows allowSet, fset *token.FileSet, files []*ast.File, malformed *[]Diagnostic) {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				// Like //go: directives, the suppression form admits no
@@ -177,10 +263,10 @@ func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
 				if !strings.HasPrefix(text, "//lint:allow") {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				m := allowRe.FindStringSubmatch(text)
 				if m == nil || strings.TrimSpace(m[2]) == "" {
-					malformed = append(malformed, Diagnostic{
+					*malformed = append(*malformed, Diagnostic{
 						Pos:  pos,
 						Rule: "allow",
 						Message: "malformed suppression: want //lint:allow <rule> <reason> " +
@@ -201,7 +287,6 @@ func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
 			}
 		}
 	}
-	return allows, malformed
 }
 
 // pathHasSuffix reports whether the import path equals or ends with

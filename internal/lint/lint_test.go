@@ -126,21 +126,20 @@ func TestAnalyzerByName(t *testing.T) {
 	}
 }
 
-// TestSelfClean runs the full suite over this repository: the tree must
-// be free of findings (fresh violations fail CI through make lint; this
-// test keeps the gate honest from inside go test as well).
+// TestSelfClean runs the full suite — per-package and cross-package
+// rules alike — over this repository: the tree must be free of findings
+// (fresh violations fail CI through make lint; this test keeps the gate
+// honest from inside go test as well).
 func TestSelfClean(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := Load(root, "./...")
+	mod, err := LoadModule(root, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, Analyzers()) {
-			t.Errorf("%s", d)
-		}
+	for _, d := range RunModule(mod, Analyzers()) {
+		t.Errorf("%s", d)
 	}
 }

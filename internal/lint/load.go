@@ -80,9 +80,12 @@ func Load(root string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Strings(sorted)
 
+	// One FileSet spans every package: the module-level passes correlate
+	// positions across packages, so offsets must live in a shared set.
+	fset := token.NewFileSet()
 	var pkgs []*Package
 	for _, dir := range sorted {
-		pkg, err := loadDir(root, modPath, dir)
+		pkg, err := loadDir(fset, root, modPath, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -93,14 +96,26 @@ func Load(root string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// LoadModule loads the packages selected by the patterns and indexes
+// them into a Module (function index, call graph, type tables) for the
+// cross-package analyzers. The module-level passes assume they see the
+// whole tree, so callers normally pass "./..." and filter diagnostics
+// afterwards.
+func LoadModule(root string, patterns ...string) (*Module, error) {
+	pkgs, err := Load(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return NewModule(root, pkgs), nil
+}
+
 // loadDir parses one directory's non-test files into a Package, or nil
 // when the directory holds no Go sources.
-func loadDir(root, modPath, dir string) (*Package, error) {
+func loadDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	name := ""
 	for _, e := range entries {

@@ -25,7 +25,14 @@ func runMapRange(pass *Pass) {
 		return
 	}
 	local := localMapTypes(pass.Files)
-	fields := mapFieldNames(pass.Files, local)
+	// Under the module driver, the cross-package named-map-type table is
+	// derived from the whole-repo type index instead of the hardcoded
+	// fallback list.
+	known := knownMapTypeNames
+	if pass.Module != nil {
+		known = pass.Module.knownMapNames(pass.PkgPath)
+	}
+	fields := mapFieldNames(pass.Files, local, known)
 	for _, f := range pass.Files {
 		imports := fileImports(f)
 		for _, d := range f.Decls {
@@ -37,6 +44,7 @@ func runMapRange(pass *Pass) {
 				pass:    pass,
 				imports: imports,
 				local:   local,
+				known:   known,
 				fields:  fields,
 				mapVars: map[string]bool{},
 			}
@@ -57,6 +65,7 @@ type mapRangeChecker struct {
 	pass    *Pass
 	imports map[string]string
 	local   map[string]bool
+	known   map[string]bool
 	fields  map[string]bool
 	// mapVars are identifiers known (syntactically) to hold maps.
 	mapVars map[string]bool
@@ -70,7 +79,7 @@ func (mr *mapRangeChecker) collectMapVars(fd *ast.FuncDecl) {
 			return
 		}
 		for _, fld := range fl.List {
-			if !isMapTypeExpr(fld.Type, mr.local) {
+			if !isMapTypeExpr(fld.Type, mr.local, mr.known) {
 				continue
 			}
 			for _, name := range fld.Names {
@@ -91,7 +100,7 @@ func (mr *mapRangeChecker) collectMapVars(fd *ast.FuncDecl) {
 			}
 			for _, spec := range gd.Specs {
 				vs, ok := spec.(*ast.ValueSpec)
-				if !ok || vs.Type == nil || !isMapTypeExpr(vs.Type, mr.local) {
+				if !ok || vs.Type == nil || !isMapTypeExpr(vs.Type, mr.local, mr.known) {
 					continue
 				}
 				for _, name := range vs.Names {
@@ -122,10 +131,10 @@ func (mr *mapRangeChecker) collectMapVars(fd *ast.FuncDecl) {
 func (mr *mapRangeChecker) isMapExpr(e ast.Expr) bool {
 	switch v := e.(type) {
 	case *ast.CompositeLit:
-		return v.Type != nil && isMapTypeExpr(v.Type, mr.local)
+		return v.Type != nil && isMapTypeExpr(v.Type, mr.local, mr.known)
 	case *ast.CallExpr:
 		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) >= 1 {
-			return isMapTypeExpr(v.Args[0], mr.local)
+			return isMapTypeExpr(v.Args[0], mr.local, mr.known)
 		}
 	}
 	return false

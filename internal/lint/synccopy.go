@@ -30,10 +30,15 @@ var syncLockTypes = map[string]bool{
 
 func runSyncCopy(pass *Pass) {
 	locky := lockyStructs(pass)
-	if len(locky) == 0 {
+	mod := pass.Module
+	if len(locky) == 0 && mod == nil {
 		return
 	}
 	for _, f := range pass.Files {
+		var imports map[string]string
+		if mod != nil {
+			imports = mod.Imports(f)
+		}
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok {
@@ -44,12 +49,30 @@ func runSyncCopy(pass *Pass) {
 					return
 				}
 				for _, fld := range fl.List {
-					id, ok := fld.Type.(*ast.Ident)
-					if !ok || !locky[id.Name] {
-						continue
+					switch t := fld.Type.(type) {
+					case *ast.Ident:
+						// Local spelling: the per-package fixpoint, upgraded
+						// to the cross-package set under the module driver.
+						if locky[t.Name] || (mod != nil && mod.LockyStructs[TypeID{Pkg: pass.PkgPath, Name: t.Name}]) {
+							pass.Reportf(fld.Type.Pos(),
+								"%s copies %s, which contains a sync lock; use *%s", kind, t.Name, t.Name)
+						}
+					case *ast.SelectorExpr:
+						// Qualified spelling pkg.T: only decidable with the
+						// whole-repo locky index.
+						if mod == nil {
+							continue
+						}
+						id, ok := t.X.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						name := id.Name + "." + t.Sel.Name
+						if mod.LockyStructs[TypeID{Pkg: imports[id.Name], Name: t.Sel.Name}] {
+							pass.Reportf(fld.Type.Pos(),
+								"%s copies %s, which contains a sync lock; use *%s", kind, name, name)
+						}
 					}
-					pass.Reportf(fld.Type.Pos(),
-						"%s copies %s, which contains a sync lock; use *%s", kind, id.Name, id.Name)
 				}
 			}
 			check(fd.Recv, "by-value receiver")

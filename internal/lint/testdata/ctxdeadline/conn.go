@@ -1,0 +1,91 @@
+// Golden for the ctxdeadline rule: blocking channel operations and
+// net.Conn IO in transport/service code must carry a deadline, sit in
+// a cancellable select, or document their liveness argument.
+package service
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+func readFrame(c net.Conn) error  { return nil }
+func writeFrame(c net.Conn) error { return nil }
+
+type peer struct {
+	conn net.Conn
+}
+
+func bareRecv(ch chan int) {
+	<-ch // want `blocking channel receive outside a select`
+}
+
+func bareRecvAssign(ch chan int) {
+	v := <-ch // want `blocking channel receive outside a select`
+	_ = v
+}
+
+func bareSend(ch chan int) {
+	ch <- 1 // want `blocking channel send outside a select`
+}
+
+func unguardedSelect(a, b chan int) {
+	select { // want `select with no default and no context/stop case`
+	case <-a:
+	case <-b:
+	}
+}
+
+func ctxGuardedSelect(ctx context.Context, a chan int) {
+	select {
+	case <-a:
+	case <-ctx.Done():
+	}
+}
+
+func stopGuardedSelect(a chan int, stop chan struct{}) {
+	select {
+	case v := <-a:
+		_ = v
+	case <-stop:
+	}
+}
+
+func defaultSelect(a chan int) {
+	select {
+	case <-a:
+	default:
+	}
+}
+
+func allowedRecv(ch chan int) {
+	//lint:allow ctxdeadline the producer closes ch on shutdown, so the receive cannot outlive it
+	<-ch
+}
+
+func unguardedRead(p *peer, buf []byte) {
+	p.conn.Read(buf) // want `net.Conn.Read with no prior deadline`
+}
+
+func guardedRead(p *peer, t time.Time, buf []byte) {
+	p.conn.SetReadDeadline(t)
+	p.conn.Read(buf)
+}
+
+// A write deadline says nothing about how long a read may hang.
+func wrongDirection(p *peer, t time.Time, buf []byte) {
+	p.conn.SetWriteDeadline(t)
+	p.conn.Read(buf) // want `net.Conn.Read with no prior deadline`
+}
+
+func unguardedFrame(c net.Conn) {
+	readFrame(c)  // want `readFrame on a net.Conn with no prior deadline`
+	writeFrame(c) // want `writeFrame on a net.Conn with no prior deadline`
+}
+
+func guardedFrame(c net.Conn, t time.Time) {
+	c.SetDeadline(t)
+	readFrame(c)
+	writeFrame(c)
+	c.Write(nil)
+}

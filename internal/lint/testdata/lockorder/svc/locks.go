@@ -1,0 +1,81 @@
+// Golden for the lockorder rule: a two-lock cycle through method
+// calls, a self-deadlock through a callee, a consistently ordered pair
+// that must stay silent, and a waived cycle.
+package service
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+}
+
+type queue struct {
+	mu sync.Mutex
+}
+
+// lockBoth acquires registry.mu then (through grab) queue.mu.
+func (r *registry) lockBoth(q *queue) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q.grab() // want `lock-order cycle among \{service.queue.mu, service.registry.mu\}`
+}
+
+func (q *queue) grab() {
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+// lockBothReversed closes the cycle: queue.mu then registry.mu.
+func (q *queue) lockBothReversed(r *registry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	r.grab()
+}
+
+func (r *registry) grab() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+}
+
+// bump re-acquires its own lock through a callee: a one-node cycle.
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.inc() // want `lock-order cycle among \{service.counter.mu\}`
+	c.mu.Unlock()
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+type outer struct {
+	mu sync.Mutex
+}
+
+type inner struct {
+	mu sync.Mutex
+}
+
+// Both paths take outer.mu before inner.mu: a consistent order is not
+// a cycle, however many call chains repeat it.
+func (o *outer) consistent(i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.poke()
+}
+
+func (o *outer) alsoConsistent(i *inner) {
+	o.mu.Lock()
+	i.poke()
+	o.mu.Unlock()
+}
+
+func (i *inner) poke() {
+	i.mu.Lock()
+	i.mu.Unlock()
+}

@@ -1,0 +1,37 @@
+package service
+
+import "sync"
+
+type alpha struct {
+	mu sync.Mutex
+}
+
+type beta struct {
+	mu sync.Mutex
+}
+
+// The alpha->beta leg of this cycle runs only during init, before any
+// other goroutine exists; the waiver sits on the cycle's anchor edge
+// (its earliest acquisition site).
+func (a *alpha) first(b *beta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//lint:allow lockorder the alpha->beta leg runs single-threaded during init, before the server accepts work
+	b.take()
+}
+
+func (b *beta) take() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func (b *beta) second(a *alpha) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.take()
+}
+
+func (a *alpha) take() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package clock is the taint source for the transdet golden: a helper
+// package (outside the deterministic set) whose functions reach the
+// wall clock directly, indirectly, or under a reviewed waiver.
+package clock
+
+import "time"
+
+// Stamp reads the wall clock directly: a nondeterminism root.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Indirect reaches the root through one more hop.
+func Indirect() int64 {
+	return Stamp() + 1
+}
+
+// Pure never touches ambient state.
+func Pure(x int) int {
+	return x + 1
+}
+
+// Waived reads the clock under a documented waiver: the waived root
+// must NOT seed taint, so callers of Waived stay clean.
+func Waived() int64 {
+	//lint:allow determinism liveness bound only, never influences results
+	return time.Now().UnixNano()
+}

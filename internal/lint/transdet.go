@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// TransDetAnalyzer is the transitive upgrade of determinism's
+// direct-call rule: it taints every module function that — through any
+// chain of calls — reaches an ambient-nondeterminism root (time.Now,
+// an unseeded math/rand draw, os.Getenv), then reports call sites in
+// the deterministic packages (internal/core, internal/sched,
+// internal/dse) whose callee is a tainted function in a
+// NON-deterministic package. Direct roots inside the deterministic
+// packages stay determinism's findings; transdet closes the hole where
+// a helper two packages away reads the wall clock on core's behalf.
+//
+// Roots whose call site already carries a //lint:allow determinism (or
+// transdet) waiver do not seed taint: a reviewed, documented root —
+// e.g. the transport liveness deadlines — is deliberately invisible to
+// the deterministic callers above it. Taint propagates over
+// method-set-approximated edges too (conservative), but only precisely
+// resolved edges are reported, so an unknown receiver never produces a
+// finding by name coincidence alone.
+var TransDetAnalyzer = &Analyzer{
+	Name: "transdet",
+	Doc: "forbid calls from internal/core, internal/sched and internal/dse into " +
+		"functions that transitively reach time.Now, unseeded math/rand or " +
+		"os.Getenv; thread timestamps/seeds/config in from the caller",
+	RunModule: runTransDet,
+}
+
+// nondetExternal classifies an import-path-qualified external callee
+// ("time.Now") as an ambient-nondeterminism root, mirroring the direct
+// determinism rule.
+func nondetExternal(name string) (string, bool) {
+	i := strings.LastIndex(name, ".")
+	if i < 0 {
+		return "", false
+	}
+	path, fn := name[:i], name[i+1:]
+	switch path {
+	case "time":
+		if fn == "Now" || fn == "Since" || fn == "Until" {
+			return "time." + fn, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandConstructors[fn] {
+			return "rand." + fn, true
+		}
+	case "os":
+		if fn == "Getenv" || fn == "LookupEnv" {
+			return "os." + fn, true
+		}
+	}
+	return "", false
+}
+
+// displayFunc renders a FuncID compactly for messages:
+// service.Server.handleStats rather than the full import path.
+func displayFunc(id FuncID) string {
+	p := shortPkg(id.Pkg)
+	if id.Recv != "" {
+		return p + "." + id.Recv + "." + id.Name
+	}
+	return p + "." + id.Name
+}
+
+func runTransDet(mp *ModulePass) {
+	mod := mp.Module
+	allows := mod.Allows()
+
+	// tainted[f] is a witness chain from f's first tainted callee down
+	// to the root external name (the chain's last element).
+	tainted := map[FuncID][]string{}
+	var queue []FuncID
+
+	// Seed: direct nondeterministic calls anywhere in the module, minus
+	// waived call sites.
+	for _, id := range mod.FuncIDs() {
+		fi := mod.Funcs[id]
+		for _, cs := range fi.Calls {
+			pos := mod.Fset.Position(cs.Pos)
+			if allows.allows(pos, "determinism") || allows.allows(pos, "transdet") {
+				continue
+			}
+			for _, c := range cs.Callees {
+				if c.External == "" {
+					continue
+				}
+				if root, ok := nondetExternal(c.External); ok {
+					if _, seen := tainted[id]; !seen {
+						tainted[id] = []string{root}
+						queue = append(queue, id)
+					}
+				}
+			}
+		}
+	}
+
+	// Reverse adjacency over every call edge, approximate ones
+	// included: taint is conservative, reporting is precise.
+	callers := map[FuncID][]FuncID{}
+	for _, id := range mod.FuncIDs() {
+		fi := mod.Funcs[id]
+		seen := map[FuncID]bool{}
+		for _, cs := range fi.Calls {
+			for _, c := range cs.Callees {
+				if c.Fn == nil || seen[c.Fn.ID] {
+					continue
+				}
+				seen[c.Fn.ID] = true
+				callers[c.Fn.ID] = append(callers[c.Fn.ID], id)
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		path := tainted[cur]
+		up := append([]FuncID(nil), callers[cur]...)
+		sort.Slice(up, func(i, j int) bool { return up[i].String() < up[j].String() })
+		for _, caller := range up {
+			if _, ok := tainted[caller]; ok {
+				continue
+			}
+			tainted[caller] = append([]string{displayFunc(cur)}, path...)
+			queue = append(queue, caller)
+		}
+	}
+
+	// Frontier: precisely resolved calls from a deterministic package
+	// into a tainted function outside the deterministic packages.
+	for _, id := range mod.FuncIDs() {
+		if !inDeterministicPackage(id.Pkg) {
+			continue
+		}
+		fi := mod.Funcs[id]
+		for _, cs := range fi.Calls {
+			for _, c := range cs.Callees {
+				if c.Fn == nil || c.Approx {
+					continue
+				}
+				path, isTainted := tainted[c.Fn.ID]
+				if !isTainted || inDeterministicPackage(c.Fn.ID.Pkg) {
+					continue
+				}
+				chain := append([]string{displayFunc(c.Fn.ID)}, path...)
+				mp.Reportf(cs.Pos,
+					"call to %s, which transitively reaches %s (%s); thread the value through Options/Config, or //lint:allow the root with a reason",
+					displayFunc(c.Fn.ID), path[len(path)-1], strings.Join(chain, " -> "))
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WireSchemaAnalyzer pins the shape of every type that crosses a
+// process boundary — the gob frame messages of the distributed-island
+// protocol (wireMsg and everything reachable from it), the checkpoint
+// records (Checkpoint), and the daemon's persisted job records
+// (persistedJob) — against a committed golden fingerprint. Field
+// renames, type changes and reorderings all change gob's and
+// encoding/json's output, silently desyncing a new coordinator from an
+// old worker or orphaning persisted state; with the fingerprint pinned,
+// any wire/persistence format change is an explicit, reviewed golden
+// update rather than an accident two layers away from the diff.
+var WireSchemaAnalyzer = &Analyzer{
+	Name: "wireschema",
+	Doc: "pin the field names/types/order of every gob wire type and persisted " +
+		"record against internal/lint/testdata/wire_schema.golden; intentional " +
+		"protocol changes regenerate the golden (mcmaplint -wire-schema)",
+	RunModule: runWireSchema,
+}
+
+// WireSchemaGoldenPath is the golden's path relative to the module
+// root, shared by the analyzer, cmd/mcmaplint and CI.
+const WireSchemaGoldenPath = "internal/lint/testdata/wire_schema.golden"
+
+// wireSchemaRoots names the boundary-crossing types, matched by package
+// suffix so synthetic test modules resolve too.
+var wireSchemaRoots = []struct{ pkgSuffix, typeName string }{
+	{"internal/dse", "wireMsg"},          // every gob frame on the fleet wire
+	{"internal/dse", "Checkpoint"},       // gob checkpoint archive records
+	{"internal/service", "persistedJob"}, // JSON job records in -data-dir
+}
+
+const wireSchemaHeader = `# mcmaplint wireschema fingerprint: every type crossing a gob frame or
+# persisted to disk, with field names, canonical types and declaration
+# order. Regenerate after an INTENTIONAL protocol/persistence change:
+#   go run ./cmd/mcmaplint -wire-schema > internal/lint/testdata/wire_schema.golden
+`
+
+// WireSchema renders the canonical schema fingerprint of the module's
+// wire types and returns the root type definitions that seeded it (in
+// declaration of wireSchemaRoots order; missing roots are skipped).
+func WireSchema(mod *Module) (string, []*TypeDef) {
+	var roots []*TypeDef
+	for _, r := range wireSchemaRoots {
+		for _, pkg := range mod.Pkgs {
+			if !pathHasSuffix(pkg.Path, r.pkgSuffix) {
+				continue
+			}
+			if td := mod.Types[TypeID{Pkg: pkg.Path, Name: r.typeName}]; td != nil {
+				roots = append(roots, td)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return "", nil
+	}
+
+	// Collect every module-defined named type reachable through field
+	// and underlying types.
+	reach := map[TypeID]*TypeDef{}
+	var visit func(td *TypeDef)
+	var collect func(e ast.Expr, imports map[string]string, pkgPath string)
+	collect = func(e ast.Expr, imports map[string]string, pkgPath string) {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if td := mod.Types[TypeID{Pkg: pkgPath, Name: v.Name}]; td != nil {
+				visit(td)
+			}
+		case *ast.SelectorExpr:
+			if id, ok := v.X.(*ast.Ident); ok {
+				if td := mod.Types[TypeID{Pkg: imports[id.Name], Name: v.Sel.Name}]; td != nil {
+					visit(td)
+				}
+			}
+		case *ast.StarExpr:
+			collect(v.X, imports, pkgPath)
+		case *ast.ParenExpr:
+			collect(v.X, imports, pkgPath)
+		case *ast.ArrayType:
+			collect(v.Elt, imports, pkgPath)
+		case *ast.MapType:
+			collect(v.Key, imports, pkgPath)
+			collect(v.Value, imports, pkgPath)
+		case *ast.StructType:
+			for _, fld := range structFields(v) {
+				collect(fld.Type, imports, pkgPath)
+			}
+		}
+	}
+	visit = func(td *TypeDef) {
+		if reach[td.ID] != nil {
+			return
+		}
+		reach[td.ID] = td
+		imports := mod.Imports(td.File)
+		if td.Struct != nil {
+			for _, fld := range td.Fields {
+				collect(fld.Type, imports, td.ID.Pkg)
+			}
+			return
+		}
+		collect(td.Spec.Type, imports, td.ID.Pkg)
+	}
+	for _, td := range roots {
+		visit(td)
+	}
+
+	ids := make([]TypeID, 0, len(reach))
+	for id := range reach {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+
+	var b strings.Builder
+	b.WriteString(wireSchemaHeader)
+	for _, id := range ids {
+		td := reach[id]
+		imports := mod.Imports(td.File)
+		if td.Struct == nil {
+			fmt.Fprintf(&b, "%s = %s\n", id, renderWireType(mod, td.Spec.Type, imports, id.Pkg))
+			continue
+		}
+		fmt.Fprintf(&b, "%s struct:\n", id)
+		for _, fld := range td.Fields {
+			name := fld.Name
+			if fld.Embedded {
+				name = "embed " + name
+			}
+			line := fmt.Sprintf("  %s %s", name, renderWireType(mod, fld.Type, imports, id.Pkg))
+			if fld.Tag != "" {
+				line += " " + fld.Tag
+			}
+			b.WriteString(line + "\n")
+		}
+	}
+	return b.String(), roots
+}
+
+// renderWireType renders a type expression canonically: module types
+// are import-path-qualified wherever they are referenced from, so a
+// move or rename is unambiguous in the fingerprint.
+func renderWireType(mod *Module, e ast.Expr, imports map[string]string, pkgPath string) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if mod.Types[TypeID{Pkg: pkgPath, Name: v.Name}] != nil {
+			return pkgPath + "." + v.Name
+		}
+		return v.Name
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			if path, imported := imports[id.Name]; imported {
+				return path + "." + v.Sel.Name
+			}
+		}
+		return "?"
+	case *ast.StarExpr:
+		return "*" + renderWireType(mod, v.X, imports, pkgPath)
+	case *ast.ParenExpr:
+		return renderWireType(mod, v.X, imports, pkgPath)
+	case *ast.ArrayType:
+		n := ""
+		if v.Len != nil {
+			n = "..."
+			if lit, ok := v.Len.(*ast.BasicLit); ok {
+				n = lit.Value
+			}
+		}
+		return "[" + n + "]" + renderWireType(mod, v.Elt, imports, pkgPath)
+	case *ast.MapType:
+		return "map[" + renderWireType(mod, v.Key, imports, pkgPath) + "]" + renderWireType(mod, v.Value, imports, pkgPath)
+	case *ast.StructType:
+		var parts []string
+		for _, fld := range structFields(v) {
+			parts = append(parts, fld.Name+" "+renderWireType(mod, fld.Type, imports, pkgPath))
+		}
+		return "struct{" + strings.Join(parts, "; ") + "}"
+	case *ast.InterfaceType:
+		return "interface{...}"
+	case *ast.ChanType:
+		return "chan " + renderWireType(mod, v.Value, imports, pkgPath)
+	case *ast.FuncType:
+		return "func(...)"
+	}
+	return "?"
+}
+
+func runWireSchema(mp *ModulePass) {
+	mod := mp.Module
+	schema, roots := WireSchema(mod)
+	if len(roots) == 0 {
+		// No boundary-crossing types in this module: nothing to pin.
+		return
+	}
+	goldenPath := filepath.Join(mod.Root, filepath.FromSlash(WireSchemaGoldenPath))
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		mp.Reportf(roots[0].Spec.Pos(),
+			"wire schema golden missing (%v); generate it: go run ./cmd/mcmaplint -wire-schema > %s",
+			err, WireSchemaGoldenPath)
+		return
+	}
+	if string(golden) == schema {
+		return
+	}
+	haveLines := strings.Split(schema, "\n")
+	wantLines := strings.Split(string(golden), "\n")
+	i := 0
+	for i < len(haveLines) && i < len(wantLines) && haveLines[i] == wantLines[i] {
+		i++
+	}
+	have, want := "<end of schema>", "<end of golden>"
+	if i < len(haveLines) {
+		have = haveLines[i]
+	}
+	if i < len(wantLines) {
+		want = wantLines[i]
+	}
+	// Anchor the diagnostic at the declaration of the type owning the
+	// first divergent line, falling back to the first root.
+	pos := roots[0].Spec.Pos()
+	owner := ""
+	for j := min(i, len(haveLines)-1); j >= 0; j-- {
+		line := haveLines[j]
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "  ") {
+			continue
+		}
+		owner = strings.TrimSuffix(strings.Fields(line)[0], ":")
+		break
+	}
+	if owner != "" {
+		if dot := strings.LastIndex(owner, "."); dot > 0 {
+			if td := mod.Types[TypeID{Pkg: owner[:dot], Name: owner[dot+1:]}]; td != nil {
+				pos = td.Spec.Pos()
+			}
+		}
+	}
+	mp.Reportf(pos,
+		"wire schema drift: have %q, golden %q; gob/persistence formats must not change by accident — "+
+			"if intentional, regenerate the golden (go run ./cmd/mcmaplint -wire-schema > %s) and review the protocol impact (DESIGN.md §10)",
+		have, want, WireSchemaGoldenPath)
+}

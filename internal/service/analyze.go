@@ -155,6 +155,25 @@ type flight struct {
 	body   []byte
 }
 
+// statusClientClosedRequest is the nginx-convention status for a
+// request abandoned by its client before a response was ready.
+const statusClientClosedRequest = 499
+
+// waitFlight parks a handler on a flight until it settles or the
+// requester gives up. Flights always settle eventually — Close fails
+// every queued flight — but a gone client must release its handler
+// goroutine and connection immediately, not when the queue drains. The
+// flight keeps computing on cancellation: coalesced followers and the
+// result cache still want the answer.
+func waitFlight(w http.ResponseWriter, r *http.Request, f *flight) {
+	select {
+	case <-f.done:
+		writeJSONBytes(w, f.status, f.body)
+	case <-r.Context().Done():
+		httpError(w, statusClientClosedRequest, "client closed request")
+	}
+}
+
 // rawAnalyzeKey is the pre-decode identity of an /analyze request: the
 // hash of the exact body bytes plus the sorted query string. Two
 // requests with the same key are byte-identical, so a cached response
@@ -224,8 +243,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if f, ok := s.inflight[key]; ok {
 		s.stats.coalesced.Add(1)
 		s.mu.Unlock()
-		<-f.done
-		writeJSONBytes(w, f.status, f.body)
+		waitFlight(w, r, f)
 		return
 	}
 	f := &flight{done: make(chan struct{})}
@@ -276,8 +294,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	<-f.done
-	writeJSONBytes(w, f.status, f.body)
+	waitFlight(w, r, f)
 }
 
 // runAnalyze executes one coalesced analysis: compile, run Algorithm 1
